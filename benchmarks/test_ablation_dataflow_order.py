@@ -1,0 +1,56 @@
+"""Design-choice ablation — Weighting-first vs. Aggregation-first dataflow.
+
+Section III of the paper states that computing Ã (H W) "requires an order of
+magnitude fewer computations" than (Ã H) W on these workloads, and Section VII
+credits part of GNNIE's advantage over HyGCN to that ordering.  This ablation
+quantifies the claim per dataset with the Table III layer configuration.
+(Not a paper figure; listed in DESIGN.md as a design-choice ablation.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.mapping import compare_dataflow_orders, preferred_dataflow
+from repro.models import model_config
+
+ALL_DATASETS = ("cora", "citeseer", "pubmed", "ppi", "reddit")
+
+
+def test_ablation_dataflow_order(benchmark, record, datasets):
+    def compute():
+        rows = []
+        for name in ALL_DATASETS:
+            graph = datasets[name]
+            dims = model_config("gcn").layer_dimensions(
+                graph.feature_length, max(graph.num_label_classes, 2)
+            )
+            costs = compare_dataflow_orders(graph, dims)
+            total_wf = sum(cost.total_weighting_first for cost in costs)
+            total_af = sum(cost.total_aggregation_first for cost in costs)
+            rows.append(
+                {
+                    "dataset": graph.name,
+                    "weighting_first_ops": total_wf,
+                    "aggregation_first_ops": total_af,
+                    "advantage": round(total_af / total_wf, 2),
+                    "layer0_advantage": round(costs[0].advantage, 2),
+                    "preferred": preferred_dataflow(costs),
+                }
+            )
+        return rows
+
+    rows = benchmark(compute)
+    record(
+        "ablation_dataflow_order",
+        format_table(rows, title="Ablation — Weighting-first vs Aggregation-first (GCN)"),
+    )
+
+    for row in rows:
+        # Weighting-first is the right order on every benchmark dataset.
+        assert row["preferred"] == "weighting_first"
+        assert row["advantage"] > 1.0
+    # On the high-dimensional citation inputs the advantage is large
+    # (the paper's "order of magnitude" claim).
+    by_dataset = {row["dataset"]: row for row in rows}
+    assert by_dataset["CR"]["layer0_advantage"] > 5
+    assert by_dataset["CS"]["layer0_advantage"] > 5

@@ -1,0 +1,54 @@
+"""Fig. 14 — energy breakdown for GCN and GAT (Cora, Citeseer, Pubmed).
+
+The paper's breakdown attributes energy to the DRAM traffic that feeds the
+output, input and weight buffers plus the on-chip components, and observes
+that the output buffer is responsible for most DRAM transactions (partial-sum
+storage), while the weight buffer's share is negligible.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+
+CITATION = ("cora", "citeseer", "pubmed")
+
+
+def test_fig14_energy_breakdown(benchmark, record, datasets, gnnie_run):
+    def compute():
+        rows = []
+        for family in ("gcn", "gat"):
+            for name in CITATION:
+                result = gnnie_run(name, family)
+                energy = result.energy
+                total = energy.total_pj
+                rows.append(
+                    {
+                        "model": family.upper(),
+                        "dataset": datasets[name].name,
+                        "total_uJ": round(total / 1e6, 2),
+                        "dram_output_pct": round(100 * energy.dram_output_pj / total, 1),
+                        "dram_input_pct": round(100 * energy.dram_input_pj / total, 1),
+                        "dram_weight_pct": round(100 * energy.dram_weight_pj / total, 1),
+                        "onchip_buffer_pct": round(100 * energy.on_chip_buffer_pj / total, 1),
+                        "compute_pct": round(100 * (energy.mac_pj + energy.sfu_pj) / total, 1),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    record("fig14_energy_breakdown", format_table(rows, title="Fig. 14 — energy breakdown (GCN & GAT)"))
+
+    for row in rows:
+        # The output-buffer DRAM stream dominates the DRAM energy (psum
+        # spills + result write-back), and the weight stream is negligible.
+        assert row["dram_output_pct"] >= row["dram_weight_pct"]
+        assert row["dram_weight_pct"] < 20
+        # Every reported component is a sane percentage.
+        assert 0 <= row["dram_output_pct"] <= 100
+        assert row["total_uJ"] > 0
+
+    # GAT consumes at least as much energy as GCN on every dataset.
+    for name in CITATION:
+        gcn_row = next(r for r in rows if r["model"] == "GCN" and r["dataset"] == datasets[name].name)
+        gat_row = next(r for r in rows if r["model"] == "GAT" and r["dataset"] == datasets[name].name)
+        assert gat_row["total_uJ"] >= gcn_row["total_uJ"] * 0.95

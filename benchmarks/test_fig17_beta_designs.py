@@ -1,0 +1,41 @@
+"""Fig. 17 — speedup gain vs hardware overhead (β) for Designs B–E.
+
+β = (baseline cycles − design cycles) / (design MACs − baseline MACs), with
+Design A (uniform 4 MACs/CPE, 1024 MACs) as the baseline.  The paper shows β
+dropping monotonically as MACs are added uniformly (B → C → D) and the
+flexible-MAC Design E achieving the highest β on every dataset — the central
+argument for the FM architecture.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import design_beta_study, format_table
+from repro.hw import design_preset
+
+CITATION = ("cora", "citeseer", "pubmed")
+
+
+def test_fig17_beta_study(benchmark, record, citation_datasets):
+    def compute():
+        return {name: design_beta_study(graph) for name, graph in citation_datasets.items()}
+
+    betas = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows = []
+    for name, values in betas.items():
+        row = {"dataset": citation_datasets[name].name}
+        row.update({f"beta_{design}": round(value, 3) for design, value in values.items()})
+        row["macs_B_C_D_E"] = "1280/1536/1792/1216"
+        rows.append(row)
+    record("fig17_beta_designs", format_table(rows, title="Fig. 17 — β for designs B-E"))
+
+    for name, values in betas.items():
+        # Diminishing returns of uniformly adding MACs.
+        assert values["B"] >= values["C"] >= values["D"], name
+        # The flexible MAC design gives the most speedup per added MAC.
+        assert values["E"] > values["B"], name
+        assert values["E"] > 1.5 * values["D"], name
+
+    # MAC counts backing the figure.
+    assert design_preset("A").total_macs == 1024
+    assert design_preset("E").total_macs == 1216

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""GAT attention study: GNNIE's linear-complexity attention reordering.
+
+GATs are the most demanding GNN the paper targets — prior accelerators either
+cannot run them (AWB-GCN) or skip the attention-normalization softmax
+(HyGCN-style designs).  This example demonstrates the two pieces that make
+GATs practical on GNNIE:
+
+1. the **reordered attention computation** (Section V-A): per-vertex terms
+   e_{i,1} = a1.T @ eta_w_i and e_{i,2} = a2.T @ eta_w_i are computed once and
+   combined per edge, turning O(|V|*|E|) work into O(|V| + |E|) — verified
+   here numerically against the naive formulation,
+2. the **hardware cost** of the full GAT pipeline (Weighting, attention
+   vector multiplication, edge-based softmax aggregation) versus a plain GCN
+   on the same graph.
+
+Run with:  python examples/gat_attention_study.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.datasets import build_dataset
+from repro.hw import AcceleratorConfig
+from repro.mapping import naive_attention_operations, schedule_attention
+from repro.models import GATLayer, gat_attention_scores_naive, gat_attention_scores_reordered
+from repro.sim import GNNIESimulator
+
+
+def main() -> None:
+    graph = build_dataset("citeseer", seed=0)
+    config = AcceleratorConfig()
+    feature_length = 128
+
+    # ------------------------------------------------------------------ #
+    # 1. Equivalence and complexity of the reordered attention computation.
+    # ------------------------------------------------------------------ #
+    rng = np.random.default_rng(0)
+    layer = GATLayer(graph.feature_length, feature_length, seed=0)
+    weighted = graph.features @ layer.weight
+    edges = graph.adjacency.edge_array()
+
+    start = time.perf_counter()
+    reordered = gat_attention_scores_reordered(
+        weighted, layer.attention_left, layer.attention_right, edges
+    )
+    reordered_seconds = time.perf_counter() - start
+
+    sample = rng.choice(edges.shape[0], size=min(2000, edges.shape[0]), replace=False)
+    start = time.perf_counter()
+    naive_sample = gat_attention_scores_naive(
+        weighted, layer.attention_left, layer.attention_right, edges[sample]
+    )
+    naive_seconds = (time.perf_counter() - start) * edges.shape[0] / sample.size
+
+    max_error = float(np.max(np.abs(naive_sample - reordered[sample])))
+    print("Attention score reordering (Section V-A)")
+    print(f"  edges={edges.shape[0]}  max |naive - reordered| = {max_error:.2e}")
+    print(f"  host time: reordered {reordered_seconds * 1e3:.1f} ms, "
+          f"naive (extrapolated) {naive_seconds * 1e3:.1f} ms")
+
+    schedule = schedule_attention(graph.num_vertices, feature_length, config)
+    naive_ops = naive_attention_operations(graph.num_vertices, edges.shape[0], feature_length)
+    print(f"  accelerator MACs: reordered {schedule.total_macs:,} vs naive {naive_ops:,} "
+          f"({naive_ops / schedule.total_macs:.1f}x reduction)\n")
+
+    # ------------------------------------------------------------------ #
+    # 2. Full-pipeline cost of GAT vs GCN on GNNIE.
+    # ------------------------------------------------------------------ #
+    simulator = GNNIESimulator(config)
+    rows = []
+    for family in ("gcn", "gat"):
+        result = simulator.run(graph, family)
+        weighting = sum(layer.weighting.total_cycles for layer in result.layers)
+        attention = sum(
+            layer.attention.total_cycles for layer in result.layers if layer.attention
+        )
+        aggregation = sum(layer.aggregation.total_cycles for layer in result.layers)
+        rows.append(
+            {
+                "model": family.upper(),
+                "weighting_cycles": weighting,
+                "attention_cycles": attention,
+                "aggregation_cycles": aggregation,
+                "total_cycles": result.total_cycles,
+                "latency_us": round(result.latency_seconds * 1e6, 1),
+                "energy_uJ": round(result.energy_joules * 1e6, 1),
+            }
+        )
+    print(format_table(rows, title="GAT vs GCN on GNNIE (Citeseer)"))
+    gat_row = next(row for row in rows if row["model"] == "GAT")
+    gcn_row = next(row for row in rows if row["model"] == "GCN")
+    overhead = gat_row["total_cycles"] / gcn_row["total_cycles"]
+    print(f"\nGAT costs {overhead:.2f}x the cycles of GCN — the attention softmax is "
+          "affordable because its compute-bound part is linear in |V| + |E|.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim so the package installs in environments without the
+``wheel`` package (PEP 660 editable installs need it; ``setup.py develop``
+does not).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

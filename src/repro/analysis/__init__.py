@@ -1,0 +1,39 @@
+"""Analysis and reporting helpers backing the figure/table reproductions."""
+
+from repro.analysis.alpha_rounds import AlphaRoundHistogram, alpha_round_histograms
+from repro.analysis.reporting import format_scientific, format_series, format_table
+from repro.analysis.roofline import PhaseRoofline, RooflineSummary, roofline_analysis
+from repro.analysis.sparsity import NonzeroHistogram, feature_nonzero_histogram
+from repro.analysis.speedup import (
+    SpeedupEntry,
+    compare_against_platform,
+    geometric_mean,
+    speedup_table,
+)
+from repro.analysis.workload import (
+    RowWorkloadProfile,
+    beta_metric,
+    design_beta_study,
+    weighting_row_profile,
+)
+
+__all__ = [
+    "AlphaRoundHistogram",
+    "alpha_round_histograms",
+    "NonzeroHistogram",
+    "PhaseRoofline",
+    "RooflineSummary",
+    "roofline_analysis",
+    "feature_nonzero_histogram",
+    "SpeedupEntry",
+    "compare_against_platform",
+    "geometric_mean",
+    "speedup_table",
+    "RowWorkloadProfile",
+    "weighting_row_profile",
+    "beta_metric",
+    "design_beta_study",
+    "format_table",
+    "format_series",
+    "format_scientific",
+]

@@ -1,0 +1,76 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmark harness prints the rows and series of every reproduced table
+and figure; these helpers render dictionaries and row lists as aligned ASCII
+tables so the benches are readable directly from the pytest output and from
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_scientific"]
+
+
+def format_scientific(value: float, digits: int = 2) -> str:
+    """Compact scientific/engineering formatting for wide-range values."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-3:
+        return f"{value:.{digits}e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    title: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (empty)"
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                format_scientific(value) if isinstance(value, float) else str(value)
+                for value in (row.get(key, "") for key in keys)
+            ]
+        )
+    widths = [
+        max(len(key), max(len(line[index]) for line in rendered)) for index, key in enumerate(keys)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(key.ljust(width) for key, width in zip(keys, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Iterable[float]] | Mapping[str, Mapping[str, float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render named numeric series (one line per series)."""
+    lines = []
+    if title:
+        lines.append(title)
+    for name, values in series.items():
+        if isinstance(values, Mapping):
+            joined = ", ".join(
+                f"{key}={format_scientific(float(value))}" for key, value in values.items()
+            )
+        else:
+            joined = ", ".join(format_scientific(float(value)) for value in values)
+        lines.append(f"  {name}: {joined}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Feature-sparsity analysis (Fig. 2 of the paper).
+
+Fig. 2 plots the histogram of nonzero counts of the input vertex feature
+vectors of Cora: a broad distribution with a sparse "Region A" and a denser
+"Region B", which is the source of the rabbit/turtle workload imbalance that
+the Flexible MAC architecture addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["NonzeroHistogram", "feature_nonzero_histogram"]
+
+
+@dataclass(frozen=True)
+class NonzeroHistogram:
+    """Histogram of per-vertex feature nonzero counts."""
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    mean_nonzeros: float
+    median_nonzeros: float
+    max_nonzeros: int
+    sparsity: float
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.counts.sum())
+
+    def spread_ratio(self) -> float:
+        """90th-to-10th percentile ratio of nonzero counts.
+
+        A large spread (Cora's histogram spans roughly 5x) is what creates
+        rabbits and turtles; a ratio near 1 would mean uniform rows.
+        """
+        cumulative = np.cumsum(self.counts) / max(1, self.counts.sum())
+        centers = 0.5 * (self.bin_edges[:-1] + self.bin_edges[1:])
+        p10 = centers[np.searchsorted(cumulative, 0.1)]
+        p90 = centers[min(np.searchsorted(cumulative, 0.9), centers.size - 1)]
+        return float(p90 / max(p10, 1e-9))
+
+
+def feature_nonzero_histogram(graph: Graph, *, num_bins: int = 40) -> NonzeroHistogram:
+    """Compute the Fig. 2 histogram for a dataset graph."""
+    nonzeros = graph.per_vertex_nonzeros()
+    counts, edges = np.histogram(nonzeros, bins=num_bins)
+    return NonzeroHistogram(
+        bin_edges=edges,
+        counts=counts,
+        mean_nonzeros=float(nonzeros.mean()),
+        median_nonzeros=float(np.median(nonzeros)),
+        max_nonzeros=int(nonzeros.max()),
+        sparsity=graph.feature_sparsity(),
+    )

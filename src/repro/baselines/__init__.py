@@ -1,0 +1,22 @@
+"""Baseline platform cost models: PyG-CPU, PyG-GPU, HyGCN, AWB-GCN."""
+
+from repro.baselines.awb_gcn import AWBGCNModel
+from repro.baselines.cpu import PyGCPUModel
+from repro.baselines.engn import EnGNModel
+from repro.baselines.gpu import PyGGPUModel
+from repro.baselines.hygcn import HyGCNModel
+from repro.baselines.platform import PlatformModel, PlatformResult
+from repro.baselines.workload import LayerCosts, WorkloadEstimate, estimate_workload
+
+__all__ = [
+    "PlatformModel",
+    "PlatformResult",
+    "PyGCPUModel",
+    "PyGGPUModel",
+    "HyGCNModel",
+    "AWBGCNModel",
+    "EnGNModel",
+    "LayerCosts",
+    "WorkloadEstimate",
+    "estimate_workload",
+]

@@ -1,0 +1,62 @@
+"""EnGN baseline cost model [Liang et al., IEEE TC 2020].
+
+EnGN is the third accelerator the paper discusses (Section VII): a 128×16
+ring-edge-reduce (RER) PE array at 1 GHz where each PE broadcasts its partial
+results to the other PEs of its column during Aggregation.  The paper's
+critique, which this model charges explicitly:
+
+* the RER ring adds one hop of inter-PE communication per aggregation step,
+  an energy/latency overhead that grows with the (sparse) neighbor count,
+* the edge reordering EnGN performs to reduce that communication is an
+  expensive preprocessing step repeated as cached edges are replaced,
+* its dimension-aware stage reordering picks the cheaper of the two phase
+  orders per layer, so it does benefit from weighting-first on these
+  workloads (modeled via the same workload estimate GNNIE uses).
+
+EnGN supports the common message-passing GNNs but, like HyGCN, does not
+implement the softmax-over-neighborhood that GATs need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.platform import PlatformModel
+from repro.baselines.workload import WorkloadEstimate
+from repro.graph.graph import Graph
+
+__all__ = ["EnGNModel"]
+
+
+@dataclass
+class EnGNModel(PlatformModel):
+    """Ring-edge-reduce PE-array model of EnGN."""
+
+    name: str = "EnGN"
+    supported_families: tuple[str, ...] = ("gcn", "graphsage", "ginconv")
+    frequency_hz: float = 1.0e9
+    #: 128 x 16 PE array.
+    num_pes: int = 2048
+    pe_utilization: float = 0.7
+    #: Extra cycles per aggregation operation spent on the RER ring hop.
+    ring_overhead_factor: float = 0.35
+    #: Edge-reordering preprocessing cost, charged per edge per layer.
+    reorder_seconds_per_edge: float = 2.0e-9
+    dram_bandwidth: float = 256e9
+    average_power_watts: float = 8.5
+
+    def power_watts(self) -> float:
+        return self.average_power_watts
+
+    def latency_seconds(self, graph: Graph, workload: WorkloadEstimate) -> float:
+        effective_pes = self.num_pes * self.pe_utilization
+        weighting_cycles = workload.sparse_weighting_macs / effective_pes
+        aggregation_cycles = (
+            workload.aggregation_ops * (1.0 + self.ring_overhead_factor) / effective_pes
+        )
+        compute_seconds = (weighting_cycles + aggregation_cycles) / self.frequency_hz
+        reorder_seconds = (
+            self.reorder_seconds_per_edge * graph.num_edges * len(workload.layers)
+        )
+        memory_seconds = 4.0 * workload.dram_bytes / self.dram_bandwidth
+        return max(compute_seconds, memory_seconds) + reorder_seconds

@@ -1,0 +1,78 @@
+"""HyGCN baseline cost model [Yan et al., HPCA 2020].
+
+HyGCN couples an *Aggregation engine* (32 SIMD16 cores operating on graph
+data) with a *Combination engine* (8 systolic arrays, 32×128 MACs) in a
+pipeline.  The paper (Sections I and VII) attributes GNNIE's ~35× average
+advantage to four structural differences, all of which the model charges:
+
+* HyGCN aggregates first — (Ã H) W — so Aggregation runs at the input
+  feature width (e.g. 1433 for Cora) instead of the hidden width (128),
+* the Combination engine does not exploit input-feature sparsity (dense
+  MACs),
+* shard-based windowing has limited efficacy on highly sparse adjacency
+  matrices: a substantial fraction of neighbor fetches still go to DRAM
+  randomly, and the power-law distribution is not addressed,
+* the two engines are imbalanced, so the pipeline stalls (modeled as a
+  pipeline efficiency factor on the max of the two stage times).
+
+HyGCN does not implement the softmax-over-neighborhood needed by GATs and is
+therefore only compared on GCN, GraphSAGE and GINConv (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.platform import PlatformModel
+from repro.baselines.workload import WorkloadEstimate
+from repro.graph.graph import Graph
+
+__all__ = ["HyGCNModel"]
+
+
+@dataclass
+class HyGCNModel(PlatformModel):
+    """Dual-engine pipeline model of HyGCN."""
+
+    name: str = "HyGCN"
+    supported_families: tuple[str, ...] = ("gcn", "graphsage", "ginconv")
+    frequency_hz: float = 1.0e9
+    #: Combination engine: 8 systolic arrays with 128x32 = 4096 total MACs
+    #: (HyGCN paper configuration), dense (no zero skipping).
+    combination_macs: int = 4096
+    combination_utilization: float = 0.75
+    #: Aggregation engine: 32 SIMD16 cores = 512 lanes.
+    aggregation_lanes: int = 512
+    aggregation_utilization: float = 0.8
+    #: Fraction of neighbor accesses that miss the sliding-window shard and
+    #: go to DRAM with random-access cost.
+    shard_miss_fraction: float = 0.35
+    dram_bandwidth: float = 256e9
+    random_access_penalty_seconds: float = 60e-9
+    #: Pipeline efficiency capturing Aggregation/Combination imbalance.
+    pipeline_efficiency: float = 0.7
+    average_power_watts: float = 6.7
+
+    def power_watts(self) -> float:
+        return self.average_power_watts
+
+    def latency_seconds(self, graph: Graph, workload: WorkloadEstimate) -> float:
+        # Combination: dense weighting MACs (no input-sparsity exploitation).
+        combination_cycles = workload.dense_weighting_macs / (
+            self.combination_macs * self.combination_utilization
+        )
+        # Aggregation runs before Combination, at the input feature width.
+        aggregation_cycles = workload.aggregation_ops_aggregation_first / (
+            self.aggregation_lanes * self.aggregation_utilization
+        )
+        stage_seconds = (
+            max(combination_cycles, aggregation_cycles)
+            / self.frequency_hz
+            / self.pipeline_efficiency
+        )
+        # Random DRAM penalty for shard-window misses during Aggregation.
+        missed_edges = self.shard_miss_fraction * graph.num_edges
+        random_seconds = missed_edges * self.random_access_penalty_seconds
+        # Streaming traffic floor.
+        stream_seconds = 4.0 * workload.dram_bytes / self.dram_bandwidth
+        return stage_seconds + random_seconds + stream_seconds

@@ -1,0 +1,62 @@
+"""Common result type and base class for baseline platform cost models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.baselines.workload import WorkloadEstimate
+from repro.graph.graph import Graph
+
+__all__ = ["PlatformResult", "PlatformModel"]
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """Latency and energy of one inference on one baseline platform."""
+
+    platform: str
+    dataset: str
+    model: str
+    latency_seconds: float
+    energy_joules: float
+
+    @property
+    def inferences_per_kilojoule(self) -> float:
+        if self.energy_joules <= 0:
+            return float("inf")
+        return 1000.0 / self.energy_joules
+
+
+class PlatformModel(ABC):
+    """A roofline-style cost model of a baseline platform."""
+
+    #: Name used in reports ("PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN").
+    name: str = "platform"
+    #: GNN families the platform supports (HyGCN cannot run GATs; AWB-GCN
+    #: runs GCN only).
+    supported_families: tuple[str, ...] = ("gcn", "gat", "graphsage", "ginconv", "diffpool")
+
+    def supports(self, family: str) -> bool:
+        return family.lower() in self.supported_families
+
+    @abstractmethod
+    def latency_seconds(self, graph: Graph, workload: WorkloadEstimate) -> float:
+        """Inference latency of the workload on this platform."""
+
+    @abstractmethod
+    def power_watts(self) -> float:
+        """Average power draw during inference."""
+
+    def evaluate(self, graph: Graph, workload: WorkloadEstimate) -> PlatformResult:
+        """Latency + energy for one workload."""
+        if not self.supports(workload.family):
+            raise ValueError(f"{self.name} does not support {workload.family!r}")
+        latency = self.latency_seconds(graph, workload)
+        return PlatformResult(
+            platform=self.name,
+            dataset=workload.dataset,
+            model=workload.family.upper(),
+            latency_seconds=latency,
+            energy_joules=latency * self.power_watts(),
+        )

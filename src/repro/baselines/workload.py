@@ -1,0 +1,207 @@
+"""Analytic per-layer workload estimation for the baseline platform models.
+
+The cross-platform comparisons (Figs. 12, 13, 15) need the *amount of work*
+each GNN performs on each dataset — dense and sparse-aware MAC counts for
+Weighting, scalar operation counts for Aggregation and attention, and the
+minimum DRAM traffic — without paying for a full functional forward pass on
+the larger graphs.  This module derives those counts from graph statistics
+and the Table III layer configuration, for both operation orders:
+
+* ``weighting_first`` (GNNIE, AWB-GCN): Aggregation runs on F_out-wide
+  weighted features — Ã (H W),
+* ``aggregation_first`` (HyGCN): Aggregation runs on F_in-wide raw features —
+  (Ã H) W, which is roughly an order of magnitude more work for the
+  high-dimensional input layers (paper, Sections III and VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.models.zoo import ModelConfig, model_config
+
+__all__ = ["LayerCosts", "WorkloadEstimate", "estimate_workload"]
+
+#: Density modeled for post-ReLU hidden-layer features.
+HIDDEN_DENSITY = 0.6
+
+
+@dataclass(frozen=True)
+class LayerCosts:
+    """Operation counts of one layer of one GNN on one graph."""
+
+    layer_index: int
+    in_features: int
+    out_features: int
+    dense_weighting_macs: int
+    sparse_weighting_macs: int
+    aggregation_ops_weighting_first: int
+    aggregation_ops_aggregation_first: int
+    attention_ops: int
+    sampling_ops: int
+    dram_bytes: int
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """Per-layer costs plus totals for one (graph, GNN family) pair."""
+
+    dataset: str
+    family: str
+    layers: tuple[LayerCosts, ...]
+
+    def total(self, attribute: str) -> int:
+        return int(sum(getattr(layer, attribute) for layer in self.layers))
+
+    @property
+    def dense_weighting_macs(self) -> int:
+        return self.total("dense_weighting_macs")
+
+    @property
+    def sparse_weighting_macs(self) -> int:
+        return self.total("sparse_weighting_macs")
+
+    @property
+    def aggregation_ops(self) -> int:
+        return self.total("aggregation_ops_weighting_first")
+
+    @property
+    def aggregation_ops_aggregation_first(self) -> int:
+        return self.total("aggregation_ops_aggregation_first")
+
+    @property
+    def attention_ops(self) -> int:
+        return self.total("attention_ops")
+
+    @property
+    def sampling_ops(self) -> int:
+        return self.total("sampling_ops")
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.total("dram_bytes")
+
+
+def estimate_workload(
+    graph: Graph,
+    family: str,
+    *,
+    out_features: int | None = None,
+    config: ModelConfig | None = None,
+) -> WorkloadEstimate:
+    """Estimate the per-layer operation counts for a GNN on a graph."""
+    cfg = config or model_config(family)
+    family_key = cfg.family.lower()
+    labels = out_features if out_features is not None else max(graph.num_label_classes, 2)
+    num_vertices = graph.num_vertices
+    num_edges = graph.num_edges  # directed (2x undirected)
+    input_nonzeros = int(np.count_nonzero(graph.features))
+
+    if family_key == "diffpool":
+        return _estimate_diffpool(graph, cfg, labels, input_nonzeros)
+
+    if family_key == "graphsage":
+        sampled_edges = int(np.minimum(graph.degrees(), cfg.sample_size or 25).sum())
+    else:
+        sampled_edges = num_edges
+
+    layers: list[LayerCosts] = []
+    for index, (in_features, out_features_layer) in enumerate(
+        cfg.layer_dimensions(graph.feature_length, labels)
+    ):
+        if index == 0:
+            nonzeros = input_nonzeros
+        else:
+            nonzeros = int(round(HIDDEN_DENSITY * num_vertices * in_features))
+        dense_macs = num_vertices * in_features * out_features_layer
+        sparse_macs = nonzeros * out_features_layer
+        if family_key == "ginconv":
+            hidden = cfg.mlp_hidden or out_features_layer
+            dense_macs = num_vertices * (in_features * hidden + hidden * out_features_layer)
+            sparse_macs = nonzeros * hidden + num_vertices * hidden * out_features_layer
+        edges_for_layer = sampled_edges
+        aggregation_wf = (edges_for_layer + num_vertices) * out_features_layer
+        aggregation_af = (edges_for_layer + num_vertices) * in_features
+        if family_key == "ginconv":
+            # GIN aggregates raw features before the MLP in both orderings.
+            aggregation_wf = (edges_for_layer + num_vertices) * in_features
+            aggregation_af = aggregation_wf
+        attention_ops = 0
+        if family_key == "gat":
+            attention_ops = 2 * num_vertices * out_features_layer + 5 * edges_for_layer
+        sampling_ops = 0
+        if family_key == "graphsage":
+            sampling_ops = num_vertices * (cfg.sample_size or 25)
+        dram_bytes = (
+            (nonzeros if index == 0 else num_vertices * in_features)
+            + num_vertices * out_features_layer
+            + in_features * out_features_layer
+        )
+        layers.append(
+            LayerCosts(
+                layer_index=index,
+                in_features=in_features,
+                out_features=out_features_layer,
+                dense_weighting_macs=int(dense_macs),
+                sparse_weighting_macs=int(sparse_macs),
+                aggregation_ops_weighting_first=int(aggregation_wf),
+                aggregation_ops_aggregation_first=int(aggregation_af),
+                attention_ops=int(attention_ops),
+                sampling_ops=int(sampling_ops),
+                dram_bytes=int(dram_bytes),
+            )
+        )
+    return WorkloadEstimate(dataset=graph.name, family=family_key, layers=tuple(layers))
+
+
+def _estimate_diffpool(
+    graph: Graph, cfg: ModelConfig, labels: int, input_nonzeros: int
+) -> WorkloadEstimate:
+    """DiffPool = embedding GCN + pooling GCN + coarsening products."""
+    num_vertices = graph.num_vertices
+    num_edges = graph.num_edges
+    hidden = cfg.hidden_features
+    clusters = max(2, hidden // 4)
+    in_features = graph.feature_length
+
+    def gcn_layer(index: int, out_dim: int) -> LayerCosts:
+        dense = num_vertices * in_features * out_dim
+        sparse = input_nonzeros * out_dim
+        return LayerCosts(
+            layer_index=index,
+            in_features=in_features,
+            out_features=out_dim,
+            dense_weighting_macs=int(dense),
+            sparse_weighting_macs=int(sparse),
+            aggregation_ops_weighting_first=int((num_edges + num_vertices) * out_dim),
+            aggregation_ops_aggregation_first=int((num_edges + num_vertices) * in_features),
+            attention_ops=0,
+            sampling_ops=0,
+            dram_bytes=int(input_nonzeros + num_vertices * out_dim + in_features * out_dim),
+        )
+
+    coarsening_macs = (
+        num_edges * clusters
+        + num_vertices * clusters * clusters
+        + num_vertices * clusters * hidden
+    )
+    coarsening = LayerCosts(
+        layer_index=2,
+        in_features=clusters,
+        out_features=hidden,
+        dense_weighting_macs=int(coarsening_macs),
+        sparse_weighting_macs=int(coarsening_macs),
+        aggregation_ops_weighting_first=0,
+        aggregation_ops_aggregation_first=0,
+        attention_ops=int(num_vertices * clusters),
+        sampling_ops=0,
+        dram_bytes=int(clusters * (clusters + hidden)),
+    )
+    return WorkloadEstimate(
+        dataset=graph.name,
+        family="diffpool",
+        layers=(gcn_layer(0, hidden), gcn_layer(1, clusters), coarsening),
+    )

@@ -1,0 +1,27 @@
+"""Graph-specific, degree-aware caching for Aggregation (paper, Section VI)."""
+
+from repro.cache.controller import (
+    DegreeAwareCacheController,
+    simulate_vertex_order_baseline,
+    vertex_record_bytes,
+)
+from repro.cache.policies import (
+    compare_cache_policies,
+    simulate_lru_policy,
+    simulate_mru_policy,
+    simulate_static_partition_policy,
+)
+from repro.cache.policy import CachePolicyConfig, CacheSimulationResult, IterationRecord
+
+__all__ = [
+    "CachePolicyConfig",
+    "CacheSimulationResult",
+    "IterationRecord",
+    "DegreeAwareCacheController",
+    "simulate_vertex_order_baseline",
+    "vertex_record_bytes",
+    "compare_cache_policies",
+    "simulate_lru_policy",
+    "simulate_mru_policy",
+    "simulate_static_partition_policy",
+]

@@ -1,0 +1,106 @@
+"""Cache policy definitions and result records for Aggregation caching.
+
+GNNIE's graph-specific caching (paper, Section VI) keeps a set of vertices —
+the densest first — resident in the input buffer, processes the edges of the
+induced subgraph, and evicts vertices whose unprocessed-edge counter α has
+fallen below the threshold γ, replacing them with the next vertices of the
+descending-degree DRAM stream.  All DRAM fetches are sequential; every
+random access is confined to the on-chip buffer.
+
+This module holds the policy/record dataclasses; the simulation loop lives in
+:mod:`repro.cache.controller`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CachePolicyConfig", "IterationRecord", "CacheSimulationResult"]
+
+
+@dataclass(frozen=True)
+class CachePolicyConfig:
+    """Parameters of the degree-aware caching policy.
+
+    Attributes:
+        capacity_vertices: Vertices that fit in the input buffer (derived
+            from the buffer capacity and the per-vertex record size).
+        gamma: Eviction threshold on the unprocessed-edge counter α; the
+            paper uses a static γ = 5.
+        replacement_count: Number of vertices replaced per iteration (r).
+        degree_ordered: Whether vertices are streamed in descending degree
+            order (GNNIE) or in raw vertex-id order (the ablation baseline).
+        max_iterations: Safety bound on the number of iterations simulated.
+    """
+
+    capacity_vertices: int
+    gamma: int = 5
+    replacement_count: int | None = None
+    degree_ordered: bool = True
+    max_iterations: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.capacity_vertices <= 0:
+            raise ValueError("capacity_vertices must be positive")
+        if self.gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        if self.replacement_count is not None and self.replacement_count <= 0:
+            raise ValueError("replacement_count must be positive when given")
+
+    @property
+    def effective_replacement_count(self) -> int:
+        """r; defaults to one eighth of the buffer capacity."""
+        if self.replacement_count is not None:
+            return self.replacement_count
+        return max(1, self.capacity_vertices // 8)
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """What happened in one cached-subgraph iteration."""
+
+    iteration: int
+    round_index: int
+    edges_processed: int
+    max_edges_per_vertex: int
+    vertices_fetched: int
+    resident_vertices: int
+    evicted_vertices: int
+
+
+@dataclass
+class CacheSimulationResult:
+    """Aggregate outcome of simulating the caching policy on one graph."""
+
+    iterations: list[IterationRecord] = field(default_factory=list)
+    num_rounds: int = 0
+    total_edges_processed: int = 0
+    vertex_fetches: int = 0
+    sequential_fetch_bytes: int = 0
+    random_accesses: int = 0
+    random_access_bytes: int = 0
+    alpha_writeback_bytes: int = 0
+    deadlock_events: int = 0
+    #: Snapshot of the α values of all not-yet-finished vertices at the end
+    #: of each round (Fig. 10 histograms).
+    alpha_round_snapshots: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_dram_accesses(self) -> int:
+        """Vertex fetches plus random accesses (the Fig. 11 y-axis)."""
+        return self.vertex_fetches + self.random_accesses
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return (
+            self.sequential_fetch_bytes + self.random_access_bytes + self.alpha_writeback_bytes
+        )
+
+    def edges_per_iteration(self) -> np.ndarray:
+        return np.asarray([record.edges_processed for record in self.iterations], dtype=np.int64)

@@ -1,0 +1,200 @@
+"""Command-line interface for the GNNIE reproduction.
+
+Examples
+--------
+List the registered datasets and their Table II statistics::
+
+    python -m repro datasets
+
+Simulate one inference and print the per-phase report::
+
+    python -m repro simulate --dataset cora --model gat
+    python -m repro simulate --dataset pubmed --model gcn --design A --json
+
+Compare GNNIE against the baseline platforms::
+
+    python -m repro compare --dataset citeseer --model gcn
+
+Sweep the named design points A–E::
+
+    python -m repro designs --dataset cora --model gcn
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import compare_against_platform, format_table
+from repro.analysis.roofline import roofline_analysis
+from repro.baselines import AWBGCNModel, HyGCNModel, PyGCPUModel, PyGGPUModel
+from repro.baselines.engn import EnGNModel
+from repro.datasets import build_dataset, dataset_names, dataset_spec
+from repro.hw import AcceleratorConfig, design_preset
+from repro.models import MODEL_FAMILIES
+from repro.sim import GNNIESimulator
+from repro.sim.trace import phase_table, result_to_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GNNIE (DAC 2022) reproduction: simulate GNN inference on the GNNIE accelerator model.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list registered datasets")
+    datasets_parser.set_defaults(handler=_cmd_datasets)
+
+    simulate_parser = subparsers.add_parser("simulate", help="simulate one inference")
+    _add_workload_arguments(simulate_parser)
+    simulate_parser.add_argument("--json", action="store_true", help="emit the full JSON report")
+    simulate_parser.add_argument(
+        "--roofline", action="store_true", help="append a per-phase bottleneck analysis"
+    )
+    simulate_parser.set_defaults(handler=_cmd_simulate)
+
+    compare_parser = subparsers.add_parser("compare", help="compare against baseline platforms")
+    _add_workload_arguments(compare_parser)
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    designs_parser = subparsers.add_parser("designs", help="evaluate design points A-E")
+    _add_workload_arguments(designs_parser)
+    designs_parser.set_defaults(handler=_cmd_designs)
+
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="cora", choices=dataset_names(), help="benchmark dataset"
+    )
+    parser.add_argument(
+        "--model", default="gcn", choices=list(MODEL_FAMILIES), help="GNN family (Table III)"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None, help="dataset scale factor in (0, 1]"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset generation seed")
+    parser.add_argument(
+        "--design",
+        default=None,
+        choices=["A", "B", "C", "D", "E"],
+        help="use a named design point instead of the default GNNIE configuration",
+    )
+
+
+def _load(args: argparse.Namespace):
+    graph = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = design_preset(args.design) if args.design else AcceleratorConfig()
+    return graph, config
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        rows.append(
+            {
+                "dataset": spec.name,
+                "abbrev": spec.abbreviation,
+                "vertices": spec.num_vertices,
+                "edges": spec.num_edges,
+                "features": spec.feature_length,
+                "labels": spec.num_labels,
+                "feature_sparsity_pct": round(100 * spec.feature_sparsity, 2),
+                "default_scale": spec.default_scale,
+            }
+        )
+    print(format_table(rows, title="Registered datasets (Table II)"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph, config = _load(args)
+    result = GNNIESimulator(config).run(graph, args.model)
+    if args.json:
+        print(result_to_json(result))
+        return 0
+    print(format_table([result.summary()], title=f"GNNIE {args.model.upper()} on {graph.name}"))
+    print()
+    print(format_table(phase_table(result), title="Per-phase breakdown"))
+    if args.roofline:
+        summary = roofline_analysis(result, config)
+        rows = [
+            {
+                "layer": phase.layer_index,
+                "phase": phase.phase,
+                "cycles": phase.total_cycles,
+                "intensity_macs_per_byte": phase.arithmetic_intensity,
+                "bound": phase.bound,
+            }
+            for phase in summary.phases
+        ]
+        print()
+        print(format_table(rows, title="Roofline classification"))
+        print(f"compute-bound fraction: {summary.compute_bound_fraction:.2f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph, config = _load(args)
+    result = GNNIESimulator(config).run(graph, args.model)
+    platforms = [PyGCPUModel(), PyGGPUModel(), HyGCNModel(), AWBGCNModel(), EnGNModel()]
+    rows = []
+    for platform in platforms:
+        if not platform.supports(args.model):
+            rows.append(
+                {"platform": platform.name, "latency_ms": "unsupported", "speedup": "-"}
+            )
+            continue
+        entry = compare_against_platform(result, graph, platform)
+        rows.append(
+            {
+                "platform": platform.name,
+                "latency_ms": round(entry.baseline_latency_s * 1e3, 4),
+                "speedup": round(entry.speedup, 2),
+            }
+        )
+    rows.insert(
+        0,
+        {
+            "platform": "GNNIE",
+            "latency_ms": round(result.latency_seconds * 1e3, 4),
+            "speedup": 1.0,
+        },
+    )
+    print(format_table(rows, title=f"{args.model.upper()} on {graph.name}: GNNIE vs baselines"))
+    return 0
+
+
+def _cmd_designs(args: argparse.Namespace) -> int:
+    graph, _ = _load(args)
+    rows = []
+    for name in ("A", "B", "C", "D", "E"):
+        config = design_preset(name)
+        result = GNNIESimulator(config).run(graph, args.model)
+        rows.append(
+            {
+                "design": config.name,
+                "total_macs": config.total_macs,
+                "cycles": result.total_cycles,
+                "latency_us": round(result.latency_seconds * 1e6, 2),
+                "energy_uJ": round(result.energy_joules * 1e6, 2),
+            }
+        )
+    print(format_table(rows, title=f"Design points A-E: {args.model.upper()} on {graph.name}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Graph data structures, generators and preprocessing for the GNNIE reproduction."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph, GraphStats
+from repro.graph.generators import (
+    community_graph,
+    erdos_renyi_graph,
+    power_law_degree_sequence,
+    power_law_graph,
+)
+from repro.graph.partition import VertexSet, sequential_vertex_sets, vertices_per_buffer
+from repro.graph.reorder import (
+    ReorderResult,
+    apply_vertex_permutation,
+    degree_binning,
+    degree_ordering,
+)
+
+__all__ = [
+    "CSRGraph",
+    "Graph",
+    "GraphStats",
+    "power_law_graph",
+    "community_graph",
+    "erdos_renyi_graph",
+    "power_law_degree_sequence",
+    "VertexSet",
+    "sequential_vertex_sets",
+    "vertices_per_buffer",
+    "ReorderResult",
+    "degree_ordering",
+    "degree_binning",
+    "apply_vertex_permutation",
+]

@@ -1,0 +1,289 @@
+"""Compressed Sparse Row (CSR) adjacency structure.
+
+GNNIE stores the graph adjacency matrix in CSR form (paper, Section III and
+Section VI): a *coordinate array* listing the neighbors of each vertex and an
+*offset array* giving the starting position of each vertex's neighbor list.
+This module provides an immutable CSR container with the query operations the
+scheduler and the cache controller need (degrees, neighbor slices, induced
+subgraph edge enumeration) plus conversions to/from edge lists, dense
+matrices and ``scipy.sparse`` matrices.
+
+All vertex indices are ``int``; arrays are NumPy ``int64``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Immutable CSR adjacency of an unweighted directed graph.
+
+    For undirected graphs (the common case for the GNN benchmark datasets)
+    each undirected edge is stored twice, once in each direction, so that
+    ``neighbors(v)`` returns the full one-hop neighborhood of ``v``.
+
+    Attributes:
+        indptr: Offset array of length ``num_vertices + 1``.  The neighbors
+            of vertex ``v`` are ``indices[indptr[v]:indptr[v + 1]]``.
+        indices: Coordinate array of length ``num_edges`` holding neighbor
+            vertex ids.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        indptr = np.asarray(self.indptr, dtype=np.int64)
+        indices = np.asarray(self.indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if indptr.size == 0:
+            raise ValueError("indptr must contain at least one entry")
+        if indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if indptr[-1] != indices.size:
+            raise ValueError(
+                f"indptr[-1]={int(indptr[-1])} must equal len(indices)={indices.size}"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        num_vertices = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= num_vertices):
+            raise ValueError("indices contains vertex ids outside [0, num_vertices)")
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        num_vertices: int,
+        *,
+        symmetric: bool = True,
+        deduplicate: bool = True,
+    ) -> "CSRGraph":
+        """Build a CSR graph from an edge list.
+
+        Args:
+            edges: Iterable of ``(src, dst)`` pairs or an ``(E, 2)`` array.
+            num_vertices: Total number of vertices.
+            symmetric: If True, add the reverse of every edge so that the
+                result is an undirected adjacency.
+            deduplicate: If True, remove duplicate edges and self-loops that
+                appear more than once (a single self-loop per vertex is kept
+                if present in the input).
+        """
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        edge_array = edge_array.astype(np.int64, copy=False).reshape(-1, 2)
+        if edge_array.size and (
+            edge_array.min() < 0 or edge_array.max() >= num_vertices
+        ):
+            raise ValueError("edge endpoints must be in [0, num_vertices)")
+        if symmetric and edge_array.size:
+            reversed_edges = edge_array[:, ::-1]
+            edge_array = np.concatenate([edge_array, reversed_edges], axis=0)
+        if deduplicate and edge_array.size:
+            edge_array = np.unique(edge_array, axis=0)
+        src = edge_array[:, 0]
+        dst = edge_array[:, 1]
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return cls(indptr=indptr, indices=dst)
+
+    @classmethod
+    def from_dense(cls, adjacency: np.ndarray) -> "CSRGraph":
+        """Build a CSR graph from a dense 0/1 adjacency matrix."""
+        adjacency = np.asarray(adjacency)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise ValueError("adjacency must be a square matrix")
+        src, dst = np.nonzero(adjacency)
+        edges = np.stack([src, dst], axis=1)
+        return cls.from_edge_list(
+            edges, num_vertices=adjacency.shape[0], symmetric=False, deduplicate=False
+        )
+
+    @classmethod
+    def from_scipy(cls, matrix) -> "CSRGraph":
+        """Build from a ``scipy.sparse`` matrix (any format)."""
+        csr = matrix.tocsr()
+        if csr.shape[0] != csr.shape[1]:
+            raise ValueError("adjacency must be square")
+        return cls(
+            indptr=np.asarray(csr.indptr, dtype=np.int64),
+            indices=np.asarray(csr.indices, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored directed edges (2x undirected edge count)."""
+        return int(self.indices.size)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        """Approximate undirected edge count assuming symmetric storage."""
+        self_loops = int(np.sum(self.degrees_with_self_loops_mask()))
+        return (self.num_edges - self_loops) // 2 + self_loops
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (== in-degree for symmetric storage)."""
+        return np.diff(self.indptr)
+
+    def degree(self, vertex: int) -> int:
+        self._check_vertex(vertex)
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def degrees_with_self_loops_mask(self) -> np.ndarray:
+        """Boolean mask over vertices that have a self-loop stored."""
+        mask = np.zeros(self.num_vertices, dtype=bool)
+        for vertex in range(self.num_vertices):
+            start, end = self.indptr[vertex], self.indptr[vertex + 1]
+            if np.any(self.indices[start:end] == vertex):
+                mask[vertex] = True
+        return mask
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Neighbor ids of ``vertex`` as a read-only view."""
+        self._check_vertex(vertex)
+        start, end = self.indptr[vertex], self.indptr[vertex + 1]
+        view = self.indices[start:end]
+        view.flags.writeable = False
+        return view
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return bool(np.any(self.neighbors(src) == dst))
+
+    def sparsity(self) -> float:
+        """Fraction of zero entries in the dense adjacency matrix."""
+        total = self.num_vertices * self.num_vertices
+        if total == 0:
+            return 1.0
+        return 1.0 - self.num_edges / total
+
+    def max_degree(self) -> int:
+        degrees = self.degrees()
+        return int(degrees.max()) if degrees.size else 0
+
+    def average_degree(self) -> float:
+        degrees = self.degrees()
+        return float(degrees.mean()) if degrees.size else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Iteration and subgraph support
+    # ------------------------------------------------------------------ #
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield every stored directed edge as ``(src, dst)``."""
+        for vertex in range(self.num_vertices):
+            start, end = self.indptr[vertex], self.indptr[vertex + 1]
+            for dst in self.indices[start:end]:
+                yield vertex, int(dst)
+
+    def edge_array(self) -> np.ndarray:
+        """All stored directed edges as an ``(E, 2)`` array."""
+        src = np.repeat(np.arange(self.num_vertices), self.degrees())
+        return np.stack([src, self.indices], axis=1)
+
+    def induced_edges(self, vertex_set: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Directed edges of the subgraph induced by ``vertex_set``.
+
+        This is the operation the cache controller performs every iteration:
+        given the set of vertices currently resident in the input buffer,
+        enumerate the edges whose both endpoints are resident (paper,
+        Section VI, "Subgraph in the Input Buffer").
+
+        Returns an ``(E_sub, 2)`` array of ``(src, dst)`` pairs using the
+        *original* vertex ids.
+        """
+        vertex_array = np.asarray(vertex_set, dtype=np.int64)
+        if vertex_array.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        membership = np.zeros(self.num_vertices, dtype=bool)
+        membership[vertex_array] = True
+        degrees = self.degrees()
+        src_all = np.repeat(np.arange(self.num_vertices), degrees)
+        keep = membership[src_all] & membership[self.indices]
+        return np.stack([src_all[keep], self.indices[keep]], axis=1)
+
+    def subgraph(self, vertex_set: Sequence[int] | np.ndarray) -> "CSRGraph":
+        """CSR of the induced subgraph with vertices relabeled to 0..k-1."""
+        vertex_array = np.asarray(sorted(set(int(v) for v in vertex_set)), dtype=np.int64)
+        relabel = -np.ones(self.num_vertices, dtype=np.int64)
+        relabel[vertex_array] = np.arange(vertex_array.size)
+        edges = self.induced_edges(vertex_array)
+        remapped = np.stack([relabel[edges[:, 0]], relabel[edges[:, 1]]], axis=1)
+        return CSRGraph.from_edge_list(
+            remapped, num_vertices=vertex_array.size, symmetric=False, deduplicate=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Dense 0/1 adjacency matrix (only for small graphs)."""
+        dense = np.zeros((self.num_vertices, self.num_vertices), dtype=np.float64)
+        edges = self.edge_array()
+        dense[edges[:, 0], edges[:, 1]] = 1.0
+        return dense
+
+    def to_scipy(self):
+        """Convert to a ``scipy.sparse.csr_matrix``."""
+        from scipy.sparse import csr_matrix
+
+        data = np.ones(self.num_edges, dtype=np.float64)
+        return csr_matrix(
+            (data, self.indices, self.indptr),
+            shape=(self.num_vertices, self.num_vertices),
+        )
+
+    def with_self_loops(self) -> "CSRGraph":
+        """Return a copy in which every vertex has a self-loop.
+
+        GCN/GAT/GINConv aggregate over ``{i} ∪ N(i)`` (paper, Section II);
+        adding explicit self-loops lets the aggregation kernels treat the
+        self-contribution uniformly as just another edge.
+        """
+        loops = np.stack([np.arange(self.num_vertices)] * 2, axis=1)
+        edges = np.concatenate([self.edge_array(), loops], axis=0)
+        return CSRGraph.from_edge_list(
+            edges, num_vertices=self.num_vertices, symmetric=False, deduplicate=True
+        )
+
+    def memory_footprint_bytes(self, bytes_per_entry: int = 4) -> int:
+        """Storage size of the CSR arrays in DRAM."""
+        return int((self.indptr.size + self.indices.size) * bytes_per_entry)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise IndexError(
+                f"vertex {vertex} out of range for graph with {self.num_vertices} vertices"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CSRGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges}, "
+            f"sparsity={self.sparsity():.4f})"
+        )

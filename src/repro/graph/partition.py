@@ -1,0 +1,72 @@
+"""Vertex-set partitioning helpers.
+
+The Weighting phase processes vertices in *sets* of ``s`` at a time, where
+``s`` is bounded by the input buffer capacity (paper, Section IV-A), and the
+Aggregation phase processes *subgraphs* induced by the vertices currently
+resident in the input buffer (Section VI).  This module implements the simple
+sequential-chunk partitioner for Weighting and buffer-capacity sizing helpers
+shared by the Weighting and Aggregation schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["VertexSet", "sequential_vertex_sets", "vertices_per_buffer"]
+
+
+@dataclass(frozen=True)
+class VertexSet:
+    """A contiguous chunk of vertex ids processed together in one pass."""
+
+    index: int
+    vertex_ids: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.vertex_ids.size)
+
+
+def vertices_per_buffer(
+    buffer_bytes: int,
+    feature_length: int,
+    *,
+    bytes_per_value: int = 1,
+    connectivity_overhead_bytes: int = 8,
+) -> int:
+    """How many vertices fit in an on-chip buffer.
+
+    Each resident vertex needs its feature vector (``feature_length`` values)
+    plus a small amount of connectivity metadata (CSR offsets and the
+    unprocessed-edge counter α during Aggregation).
+
+    Args:
+        buffer_bytes: Buffer capacity in bytes.
+        feature_length: Elements per vertex feature vector.
+        bytes_per_value: Storage size of a feature element (the paper uses
+            1-byte quantized weights/features for buffer sizing).
+        connectivity_overhead_bytes: Per-vertex metadata bytes.
+
+    Returns:
+        Number of vertices, at least 1.
+    """
+    if buffer_bytes <= 0:
+        raise ValueError("buffer_bytes must be positive")
+    if feature_length <= 0:
+        raise ValueError("feature_length must be positive")
+    per_vertex = feature_length * bytes_per_value + connectivity_overhead_bytes
+    return max(1, buffer_bytes // per_vertex)
+
+
+def sequential_vertex_sets(num_vertices: int, set_size: int) -> Iterator[VertexSet]:
+    """Yield ⌈|V| / s⌉ contiguous vertex sets of at most ``set_size`` vertices."""
+    if num_vertices < 0:
+        raise ValueError("num_vertices must be non-negative")
+    if set_size <= 0:
+        raise ValueError("set_size must be positive")
+    for index, start in enumerate(range(0, num_vertices, set_size)):
+        end = min(start + set_size, num_vertices)
+        yield VertexSet(index=index, vertex_ids=np.arange(start, end, dtype=np.int64))

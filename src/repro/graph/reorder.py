@@ -1,0 +1,117 @@
+"""Degree-aware vertex reordering and binning (GNNIE preprocessing).
+
+The paper's graph-specific caching policy (Section VI) requires vertices to
+be laid out contiguously in DRAM in *descending degree order* so that every
+off-chip fetch is sequential: the highest-degree vertices are brought on chip
+first, and replacement candidates are fetched from the next DRAM locations in
+order.  The preprocessing is deliberately cheap — linear-time binning rather
+than a full sort — and its cost is included in the paper's reported speedups.
+
+This module provides:
+
+* :func:`degree_ordering` — an exact descending-degree permutation with
+  dictionary-order (vertex-id) tie breaking, matching the paper's statement
+  that "ties are broken in dictionary order of vertex IDs".
+* :func:`degree_binning` — the linear-time bin-based approximation the paper
+  actually advocates for preprocessing cost accounting.
+* :class:`ReorderResult` — permutation plus its inverse plus the bookkeeping
+  needed to charge preprocessing time in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["ReorderResult", "degree_ordering", "degree_binning", "apply_vertex_permutation"]
+
+
+@dataclass(frozen=True)
+class ReorderResult:
+    """Outcome of degree-aware vertex reordering.
+
+    Attributes:
+        permutation: ``permutation[new_id] = old_id`` — position ``i`` of the
+            DRAM layout holds original vertex ``permutation[i]``.
+        inverse: ``inverse[old_id] = new_id``.
+        num_bins: Number of degree bins used (0 for exact sort).
+        preprocessing_operations: Abstract operation count charged by the
+            simulator for this preprocessing step (linear in |V|).
+    """
+
+    permutation: np.ndarray
+    inverse: np.ndarray
+    num_bins: int
+    preprocessing_operations: int
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.permutation.size)
+
+
+def degree_ordering(graph: CSRGraph) -> ReorderResult:
+    """Exact descending-degree ordering with vertex-id tie breaking."""
+    degrees = graph.degrees()
+    # np.lexsort sorts by the last key first; we want descending degree then
+    # ascending vertex id.
+    vertex_ids = np.arange(graph.num_vertices)
+    permutation = np.lexsort((vertex_ids, -degrees)).astype(np.int64)
+    inverse = np.empty_like(permutation)
+    inverse[permutation] = np.arange(permutation.size)
+    return ReorderResult(
+        permutation=permutation,
+        inverse=inverse,
+        num_bins=0,
+        preprocessing_operations=int(graph.num_vertices * max(1, np.log2(max(graph.num_vertices, 2)))),
+    )
+
+
+def degree_binning(graph: CSRGraph, num_bins: int = 8) -> ReorderResult:
+    """Linear-time degree binning (the paper's preprocessing scheme).
+
+    Vertices are placed into ``num_bins`` bins by degree (bin boundaries are
+    logarithmically spaced between 1 and the maximum degree, which separates
+    the hub vertices from the low-degree mass under a power law).  Bins are
+    emitted from highest-degree to lowest-degree; within a bin the original
+    vertex-id order is preserved (dictionary order), so the whole pass is a
+    stable counting sort and costs O(|V| + num_bins).
+    """
+    if num_bins < 1:
+        raise ValueError("num_bins must be at least 1")
+    degrees = graph.degrees()
+    max_degree = max(int(degrees.max()) if degrees.size else 1, 1)
+    # Logarithmic bin edges: [1, ..., max_degree]; vertices with degree 0 go
+    # to the last (lowest) bin.
+    edges = np.unique(
+        np.round(np.logspace(0, np.log10(max_degree + 1), num_bins + 1)).astype(np.int64)
+    )
+    bin_of = np.digitize(degrees, edges[1:-1], right=False)
+    # bin_of is ascending with degree; emit descending.
+    order_bins = np.argsort(-bin_of, kind="stable").astype(np.int64)
+    inverse = np.empty_like(order_bins)
+    inverse[order_bins] = np.arange(order_bins.size)
+    return ReorderResult(
+        permutation=order_bins,
+        inverse=inverse,
+        num_bins=int(edges.size - 1),
+        preprocessing_operations=int(graph.num_vertices + num_bins),
+    )
+
+
+def apply_vertex_permutation(graph: CSRGraph, permutation: np.ndarray) -> CSRGraph:
+    """Relabel the graph so that new vertex ``i`` is old vertex ``permutation[i]``."""
+    permutation = np.asarray(permutation, dtype=np.int64)
+    if permutation.size != graph.num_vertices:
+        raise ValueError("permutation length must equal the number of vertices")
+    if np.any(np.sort(permutation) != np.arange(graph.num_vertices)):
+        raise ValueError("permutation must be a bijection over vertex ids")
+    inverse = np.empty_like(permutation)
+    inverse[permutation] = np.arange(permutation.size)
+    edges = graph.edge_array()
+    remapped = np.stack([inverse[edges[:, 0]], inverse[edges[:, 1]]], axis=1)
+    return CSRGraph.from_edge_list(
+        remapped, num_vertices=graph.num_vertices, symmetric=False, deduplicate=False
+    )

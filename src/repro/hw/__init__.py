@@ -1,0 +1,33 @@
+"""Hardware component models of the GNNIE accelerator."""
+
+from repro.hw.buffers import BufferStats, DoubleBuffer, OnChipBuffer
+from repro.hw.config import DESIGN_PRESETS, AcceleratorConfig, design_preset
+from repro.hw.cpe import ComputePE, CPEConfig
+from repro.hw.dram import DRAMStats, HBMModel
+from repro.hw.energy import AreaModel, EnergyBreakdown, EnergyModel
+from repro.hw.mpe import MergePE, MPEConfig, MPEStats
+from repro.hw.pe_array import PEArray, RowWorkload
+from repro.hw.sfu import SFUConfig, SpecialFunctionUnit
+
+__all__ = [
+    "AcceleratorConfig",
+    "DESIGN_PRESETS",
+    "design_preset",
+    "ComputePE",
+    "CPEConfig",
+    "MergePE",
+    "MPEConfig",
+    "MPEStats",
+    "SpecialFunctionUnit",
+    "SFUConfig",
+    "PEArray",
+    "RowWorkload",
+    "OnChipBuffer",
+    "DoubleBuffer",
+    "BufferStats",
+    "HBMModel",
+    "DRAMStats",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AreaModel",
+]

@@ -1,0 +1,138 @@
+"""On-chip buffer models (input, output and weight buffers).
+
+The memory interface of GNNIE (paper, Section III) uses three double-buffered
+SRAM structures:
+
+* the **input buffer** holds the vertex features (RLC-encoded for the input
+  layer) and the connectivity of the resident subgraph,
+* the **output buffer** caches partial and completed vertex feature results
+  before they are written back to DRAM, and
+* the **weight buffer** holds N columns of the weight matrix under the
+  weight-stationary scheme (plus the attention vector during GAT
+  Aggregation).
+
+The model tracks capacity, occupancy, access counts (for the energy model)
+and overflow traffic that has to spill to DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BufferStats", "OnChipBuffer", "DoubleBuffer"]
+
+
+@dataclass
+class BufferStats:
+    """Access counters used by the energy model."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    spill_bytes: int = 0
+    peak_occupancy_bytes: int = 0
+
+
+@dataclass
+class OnChipBuffer:
+    """A single SRAM buffer with capacity tracking.
+
+    Attributes:
+        name: Buffer name used in reports ("input", "output", "weight").
+        capacity_bytes: Usable capacity.
+    """
+
+    name: str
+    capacity_bytes: int
+    stats: BufferStats = field(default_factory=BufferStats)
+    _occupancy: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return self._occupancy
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._occupancy
+
+    def fits(self, num_bytes: int) -> bool:
+        return num_bytes <= self.free_bytes
+
+    def allocate(self, num_bytes: int) -> int:
+        """Reserve space; returns the number of bytes that spilled to DRAM.
+
+        If the request exceeds the free space, the excess is counted as
+        spill traffic (the caller charges the corresponding DRAM transfer).
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        spill = max(0, num_bytes - self.free_bytes)
+        kept = num_bytes - spill
+        self._occupancy += kept
+        self.stats.spill_bytes += spill
+        self.stats.peak_occupancy_bytes = max(self.stats.peak_occupancy_bytes, self._occupancy)
+        return spill
+
+    def release(self, num_bytes: int) -> None:
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self._occupancy = max(0, self._occupancy - num_bytes)
+
+    def read(self, num_bytes: int) -> None:
+        """Record a read access of ``num_bytes`` (for energy accounting)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.stats.reads += 1
+        self.stats.bytes_read += num_bytes
+
+    def write(self, num_bytes: int) -> None:
+        """Record a write access of ``num_bytes`` (for energy accounting)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.stats.writes += 1
+        self.stats.bytes_written += num_bytes
+
+    def reset(self) -> None:
+        self.stats = BufferStats()
+        self._occupancy = 0
+
+
+@dataclass
+class DoubleBuffer:
+    """Two ping-pong halves used to overlap DRAM fetches with computation.
+
+    The paper uses double buffering for both the input buffer (fetch the next
+    vertex set while the CPEs compute) and the weight buffer (fetch the next
+    N weight columns during the current pass).  The model answers the only
+    question the scheduler needs: given the compute time of the current half
+    and the fetch time of the next half, how many cycles of exposed stall
+    remain?
+    """
+
+    name: str
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.half_capacity_bytes = self.capacity_bytes // 2
+        self.exposed_stall_cycles = 0
+        self.hidden_fetch_cycles = 0
+
+    def overlap(self, compute_cycles: int, fetch_cycles: int) -> int:
+        """Cycles for one phase when fetch overlaps compute.
+
+        Returns ``max(compute, fetch)`` and tracks how much fetch latency was
+        hidden versus exposed.
+        """
+        if compute_cycles < 0 or fetch_cycles < 0:
+            raise ValueError("cycle counts must be non-negative")
+        exposed = max(0, fetch_cycles - compute_cycles)
+        self.exposed_stall_cycles += exposed
+        self.hidden_fetch_cycles += min(compute_cycles, fetch_cycles)
+        return max(compute_cycles, fetch_cycles)

@@ -1,0 +1,183 @@
+"""Accelerator configuration (the GNNIE design point and its ablation variants).
+
+All architectural parameters reported in Section VIII-A of the paper are
+captured in :class:`AcceleratorConfig`:
+
+* 16×16 CPE array at 1.3 GHz,
+* the Flexible MAC allocation — 4 MACs/CPE for rows 1–8, 5 for rows 9–12 and
+  6 for rows 13–16 (1216 MACs in total),
+* 256 KB / 512 KB input buffer (small / large datasets), 1 MB output buffer,
+  128 KB double-buffered weight buffer,
+* HBM 2.0 at 256 GB/s,
+* cache eviction threshold γ = 5.
+
+The named design points of the optimization analysis (Section VIII-E) are
+provided as constructors: Design A (uniform 4 MACs/CPE baseline), B (5), C
+(6), D (7) and E (the flexible-MAC GNNIE configuration).  Feature flags allow
+the ablation benchmarks (Figs. 16–18) to disable individual optimizations
+without touching code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["AcceleratorConfig", "DESIGN_PRESETS", "design_preset"]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Architectural and policy parameters of a GNNIE instance."""
+
+    # --- CPE array ----------------------------------------------------- #
+    num_rows: int = 16
+    num_cols: int = 16
+    #: MACs per CPE for each row group; groups split the rows evenly from
+    #: top (fewest MACs) to bottom (most MACs).  Paper: (4, 5, 6) over row
+    #: groups 1-8, 9-12, 13-16 — encoded here with explicit group sizes.
+    macs_per_group: tuple[int, ...] = (4, 5, 6)
+    #: Number of CPE rows in each group (must sum to num_rows).
+    rows_per_group: tuple[int, ...] = (8, 4, 4)
+    frequency_hz: float = 1.3e9
+
+    # --- On-chip buffers ------------------------------------------------ #
+    input_buffer_bytes: int = 512 * 1024
+    output_buffer_bytes: int = 1024 * 1024
+    weight_buffer_bytes: int = 128 * 1024
+    #: Partial-sum slots available per MPE (limits in-flight vertices).
+    psum_slots_per_mpe: int = 64
+    bytes_per_value: int = 1
+
+    # --- Off-chip memory ------------------------------------------------ #
+    dram_bandwidth_bytes_per_s: float = 256e9
+    dram_energy_pj_per_bit: float = 3.97
+
+    # --- Cache policy ----------------------------------------------------#
+    gamma: int = 5
+    cache_associativity: int = 4
+
+    # --- Optimization feature flags (for ablations) --------------------- #
+    enable_flexible_mac: bool = True
+    enable_load_redistribution: bool = True
+    enable_degree_aware_caching: bool = True
+    enable_aggregation_load_balancing: bool = True
+    enable_zero_skipping: bool = True
+
+    name: str = "GNNIE"
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    def __post_init__(self) -> None:
+        if self.num_rows <= 0 or self.num_cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if len(self.macs_per_group) != len(self.rows_per_group):
+            raise ValueError("macs_per_group and rows_per_group must have equal length")
+        if sum(self.rows_per_group) != self.num_rows:
+            raise ValueError(
+                f"rows_per_group {self.rows_per_group} must sum to num_rows={self.num_rows}"
+            )
+        if any(macs <= 0 for macs in self.macs_per_group):
+            raise ValueError("every row group needs at least one MAC per CPE")
+        if list(self.macs_per_group) != sorted(self.macs_per_group):
+            raise ValueError(
+                "macs_per_group must be monotonically non-decreasing (paper, Section IV-C)"
+            )
+        if self.gamma < 0:
+            raise ValueError("gamma must be non-negative")
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.macs_per_group)
+
+    @property
+    def macs_per_row(self) -> tuple[int, ...]:
+        """MACs per CPE for each of the ``num_rows`` rows, top to bottom."""
+        per_row: list[int] = []
+        for macs, rows in zip(self.macs_per_group, self.rows_per_group):
+            per_row.extend([macs] * rows)
+        return tuple(per_row)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC units across the CPE array (paper: 1216 for GNNIE)."""
+        return sum(macs * self.num_cols for macs in self.macs_per_row)
+
+    @property
+    def num_cpes(self) -> int:
+        return self.num_rows * self.num_cols
+
+    @property
+    def row_group_of(self) -> tuple[int, ...]:
+        """Group index of every CPE row."""
+        groups: list[int] = []
+        for group_index, rows in enumerate(self.rows_per_group):
+            groups.extend([group_index] * rows)
+        return tuple(groups)
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_bandwidth_bytes_per_s / self.frequency_hz
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        """Peak throughput counting one MAC as two operations (mult + add)."""
+        return 2.0 * self.total_macs * self.frequency_hz
+
+    def with_input_buffer_for(self, dataset_abbreviation: str) -> "AcceleratorConfig":
+        """Return a copy with the paper's per-dataset input buffer sizing.
+
+        256 KB for the small citation graphs (Cora, Citeseer), 512 KB for
+        Pubmed, PPI and Reddit (Section VIII-A).
+        """
+        small = dataset_abbreviation.upper() in ("CR", "CS", "CORA", "CITESEER")
+        size = 256 * 1024 if small else 512 * 1024
+        return replace(self, input_buffer_bytes=size)
+
+    def without_optimizations(self) -> "AcceleratorConfig":
+        """Baseline variant: uniform MACs, no LR, no degree caching, no LB."""
+        return replace(
+            self,
+            macs_per_group=(self.macs_per_group[0],),
+            rows_per_group=(self.num_rows,),
+            enable_flexible_mac=False,
+            enable_load_redistribution=False,
+            enable_degree_aware_caching=False,
+            enable_aggregation_load_balancing=False,
+            name=f"{self.name}-baseline",
+        )
+
+
+def _uniform_design(name: str, macs_per_cpe: int) -> AcceleratorConfig:
+    return AcceleratorConfig(
+        macs_per_group=(macs_per_cpe,),
+        rows_per_group=(16,),
+        enable_flexible_mac=False,
+        enable_load_redistribution=False,
+        name=name,
+    )
+
+
+#: Design points of the β study (Fig. 17) and ablations (Section VIII-E).
+DESIGN_PRESETS: dict[str, AcceleratorConfig] = {
+    # Design A: baseline, 4 MACs/CPE uniform (1024 MACs).
+    "A": _uniform_design("Design A", 4),
+    # Designs B-D: uniformly more MACs per CPE.
+    "B": _uniform_design("Design B", 5),
+    "C": _uniform_design("Design C", 6),
+    "D": _uniform_design("Design D", 7),
+    # Design E: GNNIE's flexible MAC architecture (1216 MACs).
+    "E": AcceleratorConfig(name="Design E (GNNIE)"),
+}
+
+
+def design_preset(name: str) -> AcceleratorConfig:
+    """Look up one of the named design points A–E."""
+    key = name.strip().upper()
+    if key not in DESIGN_PRESETS:
+        raise KeyError(f"unknown design {name!r}; known: {sorted(DESIGN_PRESETS)}")
+    return DESIGN_PRESETS[key]

@@ -1,0 +1,88 @@
+"""Merge Processing Element (MPE) model.
+
+One MPE sits at the foot of each CPE column (paper, Section III).  It
+collects tagged partial results from the CPEs in its column, accumulates them
+per vertex in a bank of partial-sum (psum) scratchpads, and forwards
+completed vertex-feature elements to the output buffer.  Because CPEs finish
+their k-blocks at irregular times (the rabbit/turtle disparity of
+Section IV-C), the MPE may track partial sums for many vertices at once; the
+number of psum slots bounds how many, and exceeding it forces stalls — which
+is precisely the pressure the Flexible MAC load balancing relieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MPEConfig", "MergePE", "MPEStats"]
+
+
+@dataclass(frozen=True)
+class MPEConfig:
+    """Static parameters of one merge PE."""
+
+    psum_slots: int = 64
+    accumulate_latency_cycles: int = 1
+    drain_latency_cycles: int = 1
+
+
+@dataclass
+class MPEStats:
+    """Counters accumulated by an MPE over a simulation phase."""
+
+    accumulations: int = 0
+    completed_vertices: int = 0
+    stall_cycles: int = 0
+    peak_live_vertices: int = 0
+
+
+@dataclass
+class MergePE:
+    """Accumulator model for one CPE column."""
+
+    config: MPEConfig
+    stats: MPEStats = field(default_factory=MPEStats)
+    _live: dict[int, int] = field(default_factory=dict)
+
+    def accumulate(self, vertex_id: int, partial_blocks: int, total_blocks: int) -> int:
+        """Record ``partial_blocks`` partial-sum arrivals for ``vertex_id``.
+
+        Args:
+            vertex_id: Tag of the vertex whose partial results arrived.
+            partial_blocks: Number of k-block partial results delivered.
+            total_blocks: Blocks required before the vertex's element is
+                complete and can be drained to the output buffer.
+
+        Returns:
+            Cycles consumed (accumulation plus any stall waiting for a free
+            psum slot plus drain on completion).
+        """
+        if partial_blocks < 0 or total_blocks <= 0:
+            raise ValueError("block counts must be positive")
+        cycles = partial_blocks * self.config.accumulate_latency_cycles
+        if vertex_id not in self._live:
+            if len(self._live) >= self.config.psum_slots:
+                # No free psum slot: stall until one drains.  The model
+                # charges a drain latency and evicts the oldest complete or
+                # most-complete entry (hardware would backpressure the CPEs).
+                cycles += self.config.drain_latency_cycles
+                self.stats.stall_cycles += self.config.drain_latency_cycles
+                evict = max(self._live, key=self._live.get)
+                del self._live[evict]
+            self._live[vertex_id] = 0
+        self._live[vertex_id] += partial_blocks
+        self.stats.accumulations += partial_blocks
+        self.stats.peak_live_vertices = max(self.stats.peak_live_vertices, len(self._live))
+        if self._live[vertex_id] >= total_blocks:
+            del self._live[vertex_id]
+            self.stats.completed_vertices += 1
+            cycles += self.config.drain_latency_cycles
+        return cycles
+
+    @property
+    def live_vertices(self) -> int:
+        return len(self._live)
+
+    def reset(self) -> None:
+        self.stats = MPEStats()
+        self._live.clear()

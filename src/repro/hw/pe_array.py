@@ -1,0 +1,134 @@
+"""The M×N processing-element array (CPEs + MPEs + SFU columns).
+
+This assembles the per-component models (:class:`~repro.hw.cpe.ComputePE`,
+:class:`~repro.hw.mpe.MergePE`, :class:`~repro.hw.sfu.SpecialFunctionUnit`)
+into the array structure of Fig. 3: ``num_rows × num_cols`` CPEs whose row
+group determines their MAC count, one MPE per column, and interleaved SFU
+columns shared across the array.
+
+The array exposes row-level cycle accounting, which is the granularity the
+paper analyses (Fig. 16 plots per-CPE-row Weighting workload) and the
+granularity the Flexible MAC binning and Load Redistribution operate at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.cpe import ComputePE, CPEConfig
+from repro.hw.mpe import MergePE, MPEConfig
+from repro.hw.sfu import SpecialFunctionUnit
+
+__all__ = ["PEArray", "RowWorkload"]
+
+
+@dataclass
+class RowWorkload:
+    """Workload assigned to one CPE row during a Weighting pass."""
+
+    row_index: int
+    num_macs_per_cpe: int
+    nonzero_operations: int
+    cycles: int
+
+    @property
+    def effective_throughput(self) -> float:
+        """Nonzero MACs retired per cycle by this row."""
+        if self.cycles == 0:
+            return 0.0
+        return self.nonzero_operations / self.cycles
+
+
+class PEArray:
+    """Structural model of the GNNIE PE array."""
+
+    def __init__(self, config: AcceleratorConfig, *, num_sfu_columns: int = 4) -> None:
+        self.config = config
+        self.num_sfu_columns = num_sfu_columns
+        macs_per_row = config.macs_per_row
+        self.cpes: list[list[ComputePE]] = [
+            [
+                ComputePE(CPEConfig(num_macs=macs_per_row[row]))
+                for _ in range(config.num_cols)
+            ]
+            for row in range(config.num_rows)
+        ]
+        self.mpes: list[MergePE] = [
+            MergePE(MPEConfig(psum_slots=config.psum_slots_per_mpe))
+            for _ in range(config.num_cols)
+        ]
+        self.sfus: list[SpecialFunctionUnit] = [
+            SpecialFunctionUnit() for _ in range(num_sfu_columns)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        return self.config.num_rows
+
+    @property
+    def num_cols(self) -> int:
+        return self.config.num_cols
+
+    def row_mac_counts(self) -> np.ndarray:
+        """MACs per CPE for every row (length ``num_rows``)."""
+        return np.asarray(self.config.macs_per_row, dtype=np.int64)
+
+    def row_total_macs(self) -> np.ndarray:
+        """Total MACs in each row (MACs per CPE × columns)."""
+        return self.row_mac_counts() * self.config.num_cols
+
+    def total_macs(self) -> int:
+        return int(self.row_total_macs().sum())
+
+    # ------------------------------------------------------------------ #
+    # Row-level cycle accounting
+    # ------------------------------------------------------------------ #
+    def row_weighting_cycles(self, row_nonzero_operations: np.ndarray) -> np.ndarray:
+        """Cycles each row needs to retire its assigned nonzero MAC operations.
+
+        ``row_nonzero_operations[r]`` is the number of nonzero
+        feature-element × weight multiplications assigned to row ``r`` for
+        one pass.  Work within a row is spread over its ``num_cols`` CPEs,
+        each retiring ``macs_per_cpe`` operations per cycle.
+        """
+        operations = np.asarray(row_nonzero_operations, dtype=np.float64)
+        if operations.size != self.num_rows:
+            raise ValueError(
+                f"expected one workload entry per row ({self.num_rows}), got {operations.size}"
+            )
+        throughput = self.row_total_macs().astype(np.float64)
+        return np.ceil(operations / np.maximum(throughput, 1.0)).astype(np.int64)
+
+    def array_aggregation_cycles(self, pairwise_additions: int) -> int:
+        """Cycles for the whole array to retire ``pairwise_additions`` adds."""
+        if pairwise_additions < 0:
+            raise ValueError("pairwise_additions must be non-negative")
+        throughput = float(self.total_macs())
+        return int(np.ceil(pairwise_additions / throughput)) if pairwise_additions else 0
+
+    def describe_rows(self, row_nonzero_operations: np.ndarray) -> list[RowWorkload]:
+        """Per-row workload report (used for the Fig. 16 benchmark)."""
+        cycles = self.row_weighting_cycles(row_nonzero_operations)
+        macs = self.row_mac_counts()
+        return [
+            RowWorkload(
+                row_index=row,
+                num_macs_per_cpe=int(macs[row]),
+                nonzero_operations=int(row_nonzero_operations[row]),
+                cycles=int(cycles[row]),
+            )
+            for row in range(self.num_rows)
+        ]
+
+    def reset(self) -> None:
+        for row in self.cpes:
+            for cpe in row:
+                cpe.reset()
+        for mpe in self.mpes:
+            mpe.reset()

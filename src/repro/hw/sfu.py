@@ -1,0 +1,100 @@
+"""Special Function Unit (SFU) model.
+
+The CPE array interleaves columns of SFUs that provide the nonlinearities
+GNNs need beyond MACs: exponentiation (for the softmax in GAT attention and
+in DiffPool's assignment matrix), LeakyReLU, ReLU, and division for the
+softmax normalization (paper, Section III).  Exponentiation uses an accurate
+low-area lookup-table implementation [Nilsson et al. 2014]; the functional
+model here reproduces a table-plus-interpolation scheme so the numeric error
+of the hardware approximation can be bounded in tests, and the cycle model
+charges the latencies the interleaved placement achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SFUConfig", "SpecialFunctionUnit"]
+
+
+@dataclass(frozen=True)
+class SFUConfig:
+    """Latency (cycles) and LUT parameters of the special function unit."""
+
+    exp_latency_cycles: int = 2
+    leaky_relu_latency_cycles: int = 1
+    relu_latency_cycles: int = 1
+    divide_latency_cycles: int = 4
+    #: Number of LUT segments for the exponential approximation.
+    exp_lut_entries: int = 256
+    #: Input range covered by the LUT; inputs are clamped into it (softmax
+    #: arguments are max-shifted, so the range [-16, 0] dominates).
+    exp_lut_min: float = -16.0
+    exp_lut_max: float = 8.0
+
+
+class SpecialFunctionUnit:
+    """Functional + cycle model of one SFU column."""
+
+    def __init__(self, config: SFUConfig | None = None) -> None:
+        self.config = config or SFUConfig()
+        self._lut_inputs = np.linspace(
+            self.config.exp_lut_min, self.config.exp_lut_max, self.config.exp_lut_entries
+        )
+        self._lut_values = np.exp(self._lut_inputs)
+        self.invocation_counts: dict[str, int] = {"exp": 0, "leaky_relu": 0, "relu": 0, "divide": 0}
+
+    # ------------------------------------------------------------------ #
+    # Functional behaviour (LUT-approximated exponential)
+    # ------------------------------------------------------------------ #
+    def exp(self, values: np.ndarray) -> np.ndarray:
+        """LUT-based exponential with linear interpolation between entries."""
+        values = np.asarray(values, dtype=np.float64)
+        clamped = np.clip(values, self.config.exp_lut_min, self.config.exp_lut_max)
+        result = np.interp(clamped, self._lut_inputs, self._lut_values)
+        self.invocation_counts["exp"] += int(np.size(values))
+        return result
+
+    def leaky_relu(self, values: np.ndarray, negative_slope: float = 0.2) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        self.invocation_counts["leaky_relu"] += int(np.size(values))
+        return np.where(values > 0.0, values, negative_slope * values)
+
+    def relu(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        self.invocation_counts["relu"] += int(np.size(values))
+        return np.maximum(values, 0.0)
+
+    def divide(self, numerators: np.ndarray, denominators: np.ndarray) -> np.ndarray:
+        numerators = np.asarray(numerators, dtype=np.float64)
+        denominators = np.asarray(denominators, dtype=np.float64)
+        self.invocation_counts["divide"] += int(np.size(numerators))
+        return numerators / np.maximum(np.abs(denominators), 1e-30) * np.sign(
+            np.where(denominators == 0.0, 1.0, denominators)
+        )
+
+    def exp_max_relative_error(self) -> float:
+        """Worst-case relative error of the LUT exponential over its range."""
+        probe = np.linspace(self.config.exp_lut_min, self.config.exp_lut_max, 10001)
+        approx = np.interp(probe, self._lut_inputs, self._lut_values)
+        exact = np.exp(probe)
+        return float(np.max(np.abs(approx - exact) / exact))
+
+    # ------------------------------------------------------------------ #
+    # Cycle accounting
+    # ------------------------------------------------------------------ #
+    def cycles_for(self, operation: str, count: int) -> int:
+        """Cycles to perform ``count`` scalar operations of the given kind."""
+        latency = {
+            "exp": self.config.exp_latency_cycles,
+            "leaky_relu": self.config.leaky_relu_latency_cycles,
+            "relu": self.config.relu_latency_cycles,
+            "divide": self.config.divide_latency_cycles,
+        }.get(operation)
+        if latency is None:
+            raise ValueError(f"unknown SFU operation {operation!r}")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return int(latency * count)

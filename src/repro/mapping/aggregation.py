@@ -1,0 +1,197 @@
+"""Edge-based Aggregation mapping (paper, Section V-C).
+
+Aggregation sums the weighted feature vectors ηw_j over each vertex's
+neighborhood.  The graph is processed one cached subgraph at a time (the
+cache controller of :mod:`repro.cache` decides which vertices are resident);
+within a subgraph iteration the edges are processed in parallel in the CPE
+array:
+
+* with **load balancing (LB)** enabled, the per-edge elementwise additions
+  are decomposed into unit pairwise summations and spread over all CPEs (an
+  adder tree whose width per vertex follows its subgraph degree), so the
+  whole array's MAC bandwidth is the only limit;
+* without LB (the ablation baseline), each vertex's accumulation is handled
+  by whichever CPE it was assigned to in vertex order, so a high-degree
+  vertex serializes on a single CPE and the power-law degree distribution
+  directly becomes idle time.
+
+For GATs the same edge walk also evaluates the softmax numerator/denominator
+(Fig. 7): an add, a LeakyReLU and an exponential per edge in the SFU, a
+multiply of exp(e_ij) with ηw_j per feature element, and a division per
+output element at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.sfu import SFUConfig
+
+__all__ = ["IterationCost", "AggregationCycleModel"]
+
+
+@dataclass(frozen=True)
+class IterationCost:
+    """Cycle cost of aggregating one cached-subgraph iteration."""
+
+    edges_processed: int
+    compute_cycles: int
+    sfu_cycles: int
+    addition_ops: int
+    multiply_ops: int
+    sfu_ops: int
+
+
+class AggregationCycleModel:
+    """Converts per-iteration edge counts into CPE-array cycles."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        feature_length: int,
+        *,
+        is_gat: bool = False,
+        sfu_config: SFUConfig | None = None,
+        num_sfu_columns: int = 4,
+    ) -> None:
+        if feature_length <= 0:
+            raise ValueError("feature_length must be positive")
+        self.config = config
+        self.feature_length = int(feature_length)
+        self.is_gat = is_gat
+        self.sfu_config = sfu_config or SFUConfig()
+        self.num_sfu_columns = num_sfu_columns
+        self._total_macs = float(config.total_macs)
+        self._average_macs_per_cpe = float(config.total_macs) / float(config.num_cpes)
+        #: SFU scalar throughput per cycle: one op per SFU lane, with one
+        #: lane per CPE row in each interleaved SFU column.
+        self._sfu_lanes = float(num_sfu_columns * config.num_rows)
+
+    # ------------------------------------------------------------------ #
+    # Per-iteration costs
+    # ------------------------------------------------------------------ #
+    def iteration_cost(
+        self,
+        undirected_edges: int,
+        *,
+        max_edges_per_vertex: int = 0,
+        num_resident_vertices: int = 0,
+    ) -> IterationCost:
+        """Cycle cost of processing ``undirected_edges`` in one iteration.
+
+        Args:
+            undirected_edges: Number of (undirected) subgraph edges processed
+                this iteration; each contributes an accumulation into both
+                endpoints.
+            max_edges_per_vertex: Largest number of edges any single resident
+                vertex accumulates this iteration (drives the no-LB penalty).
+            num_resident_vertices: Vertices resident in the buffer (used for
+                the GAT softmax division count).
+        """
+        if undirected_edges < 0:
+            raise ValueError("undirected_edges must be non-negative")
+        feature = self.feature_length
+        # Each undirected edge feeds both endpoints: 2 directed contributions,
+        # each an elementwise add of an F-long vector.
+        addition_ops = 2 * undirected_edges * feature
+        multiply_ops = 0
+        sfu_ops = 0
+        if self.is_gat:
+            # exp(e_ij) · ηw_j per directed edge (F multiplies) and the final
+            # division by the softmax denominator per output element.
+            multiply_ops = 2 * undirected_edges * feature
+            sfu_ops = 2 * undirected_edges * 2 + num_resident_vertices  # LeakyReLU + exp per edge, denom add
+        mac_ops = addition_ops + multiply_ops
+
+        if self.config.enable_aggregation_load_balancing:
+            compute_cycles = int(np.ceil(mac_ops / self._total_macs)) if mac_ops else 0
+        else:
+            # Without degree-aware distribution, vertices are assigned to
+            # CPEs in id order; the expected bottleneck is the average
+            # per-CPE share plus the largest single-vertex accumulation
+            # serialized on one CPE.
+            per_vertex_factor = 2 if self.is_gat else 1
+            average_share = mac_ops / float(self.config.num_cpes)
+            worst_vertex = max_edges_per_vertex * feature * per_vertex_factor
+            bottleneck = average_share + worst_vertex
+            compute_cycles = (
+                int(np.ceil(bottleneck / self._average_macs_per_cpe)) if mac_ops else 0
+            )
+
+        sfu_cycles = 0
+        if sfu_ops:
+            per_op_latency = max(
+                self.sfu_config.exp_latency_cycles, self.sfu_config.leaky_relu_latency_cycles
+            )
+            sfu_cycles = int(np.ceil(sfu_ops * per_op_latency / self._sfu_lanes))
+        return IterationCost(
+            edges_processed=int(undirected_edges),
+            compute_cycles=compute_cycles,
+            sfu_cycles=sfu_cycles,
+            addition_ops=int(addition_ops),
+            multiply_ops=int(multiply_ops),
+            sfu_ops=int(sfu_ops),
+        )
+
+    def finalization_cost(self, num_vertices: int) -> IterationCost:
+        """Cost of the per-vertex wrap-up after all edges are aggregated.
+
+        For GATs this is the division of the accumulated numerator by the
+        softmax denominator (F divisions per vertex in the SFU); for the
+        other GNNs only the activation remains, which the activation unit
+        performs as results stream out (modeled as a single cycle per vertex
+        element overlapped with the write-back, hence zero extra CPE cycles).
+        """
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        if not self.is_gat:
+            return IterationCost(0, 0, 0, 0, 0, 0)
+        divide_ops = num_vertices * self.feature_length
+        sfu_cycles = int(
+            np.ceil(divide_ops * self.sfu_config.divide_latency_cycles / self._sfu_lanes)
+        )
+        return IterationCost(
+            edges_processed=0,
+            compute_cycles=0,
+            sfu_cycles=sfu_cycles,
+            addition_ops=0,
+            multiply_ops=0,
+            sfu_ops=int(divide_ops),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Functional mirror
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def aggregate_subgraph(
+        weighted: np.ndarray,
+        edges: np.ndarray,
+        accumulator: np.ndarray,
+        *,
+        edge_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Accumulate edge contributions into ``accumulator`` (both directions).
+
+        This is the functional counterpart of one cached-subgraph iteration:
+        every undirected edge (u, v) adds ηw_u into v's partial sum and ηw_v
+        into u's.  Tests use it to confirm that processing the graph in
+        cache-controller order reproduces the reference aggregation.
+        """
+        weighted = np.asarray(weighted, dtype=np.float64)
+        accumulator = np.asarray(accumulator, dtype=np.float64)
+        if edges.size == 0:
+            return accumulator
+        sources = edges[:, 0]
+        destinations = edges[:, 1]
+        if edge_weights is None:
+            forward = weighted[sources]
+            backward = weighted[destinations]
+        else:
+            forward = weighted[sources] * edge_weights[:, None]
+            backward = weighted[destinations] * edge_weights[:, None]
+        np.add.at(accumulator, destinations, forward)
+        np.add.at(accumulator, sources, backward)
+        return accumulator

@@ -1,0 +1,185 @@
+"""Flexible MAC (FM) workload binning for the Weighting phase.
+
+Section IV-C of the paper: because input vertex feature vectors have widely
+varying sparsity, the k-element blocks mapped to CPE rows take very different
+times ("rabbits" vs. "turtles").  GNNIE's Flexible MAC architecture gives the
+CPE rows of different row groups different numbers of MAC units, and a linear
+time preprocessing step bins the feature blocks by nonzero count so that the
+bin of densest blocks is served by the row group with the most MACs.
+
+This module implements
+
+* :func:`baseline_assignment` — the position-based mapping (block ``i`` of
+  every vertex goes to CPE row ``i``) used by Design A, which exhibits the
+  imbalance shown in Fig. 16,
+* :func:`flexible_mac_assignment` — nonzero-count binning with bins assigned
+  to row groups in MAC order, and round-robin distribution within a group,
+* the shared :class:`BlockAssignment` result type consumed by the Weighting
+  cycle model and by the Fig. 16/17 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.config import AcceleratorConfig
+
+__all__ = ["BlockAssignment", "baseline_assignment", "flexible_mac_assignment"]
+
+
+@dataclass(frozen=True)
+class BlockAssignment:
+    """Outcome of assigning feature blocks to CPE rows for one pass.
+
+    Attributes:
+        row_nonzeros: Total nonzero operands assigned to each CPE row.
+        row_cycles: Cycles each row needs to process its blocks once against
+            one resident weight column set (Σ ceil(nnz_block / MACs_per_CPE)).
+        row_block_counts: Number of blocks assigned to each row.
+        policy: "baseline" or "flexible_mac".
+        preprocessing_operations: Cost of the binning preprocessing (linear
+            in the number of blocks), charged by the simulator.
+    """
+
+    row_nonzeros: np.ndarray
+    row_cycles: np.ndarray
+    row_block_counts: np.ndarray
+    policy: str
+    preprocessing_operations: int
+
+    @property
+    def max_cycles(self) -> int:
+        return int(self.row_cycles.max()) if self.row_cycles.size else 0
+
+    @property
+    def min_cycles(self) -> int:
+        return int(self.row_cycles.min()) if self.row_cycles.size else 0
+
+    @property
+    def imbalance(self) -> float:
+        """Max-to-mean cycle ratio (1.0 = perfectly balanced)."""
+        mean = float(self.row_cycles.mean()) if self.row_cycles.size else 0.0
+        if mean == 0.0:
+            return 1.0
+        return float(self.max_cycles / mean)
+
+    @property
+    def total_nonzeros(self) -> int:
+        return int(self.row_nonzeros.sum())
+
+
+def _row_cycles_from_blocks(
+    block_nonzeros_per_row: list[np.ndarray], macs_per_row: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cycle, nonzero and block-count totals per row.
+
+    A CPE pipelines blocks back to back ("immediately move on to a block
+    from the next available subvector", Section IV-A), so the nonzero
+    operands assigned to a row pack densely into its MAC slots: the row's
+    cycle count is ``ceil(total nonzeros / MACs per CPE)``.
+    """
+    num_rows = len(macs_per_row)
+    cycles = np.zeros(num_rows, dtype=np.int64)
+    nonzeros = np.zeros(num_rows, dtype=np.int64)
+    counts = np.zeros(num_rows, dtype=np.int64)
+    for row, blocks in enumerate(block_nonzeros_per_row):
+        if blocks.size == 0:
+            continue
+        macs = macs_per_row[row]
+        total = int(blocks.sum())
+        nonzeros[row] = total
+        cycles[row] = -(-total // macs)
+        counts[row] = int(blocks.size)
+    return nonzeros, cycles, counts
+
+
+def baseline_assignment(
+    block_nonzeros: np.ndarray, config: AcceleratorConfig
+) -> BlockAssignment:
+    """Position-based mapping: block ``b`` of every vertex goes to row ``b``.
+
+    If the feature vector has fewer blocks than the array has rows, the
+    remaining rows receive no work (they idle); this is exactly the source of
+    imbalance the FM architecture removes.
+    """
+    block_nonzeros = np.asarray(block_nonzeros, dtype=np.int64)
+    if block_nonzeros.ndim != 2:
+        raise ValueError("block_nonzeros must be (num_vertices, num_blocks)")
+    num_blocks = block_nonzeros.shape[1]
+    if num_blocks > config.num_rows:
+        raise ValueError(
+            f"{num_blocks} blocks exceed the {config.num_rows} CPE rows; "
+            "the block size k must be ceil(F / num_rows)"
+        )
+    macs_per_row = config.macs_per_row
+    per_row_blocks = [
+        block_nonzeros[:, block] if block < num_blocks else np.empty(0, dtype=np.int64)
+        for block in range(config.num_rows)
+    ]
+    nonzeros, cycles, counts = _row_cycles_from_blocks(per_row_blocks, macs_per_row)
+    return BlockAssignment(
+        row_nonzeros=nonzeros,
+        row_cycles=cycles,
+        row_block_counts=counts,
+        policy="baseline",
+        preprocessing_operations=0,
+    )
+
+
+def flexible_mac_assignment(
+    block_nonzeros: np.ndarray, config: AcceleratorConfig
+) -> BlockAssignment:
+    """Bin blocks by nonzero count and assign bins to MAC-ordered row groups.
+
+    Blocks are sorted by nonzero count (a linear-time counting sort in
+    hardware) and split into ``num_groups`` bins whose total work is
+    proportional to each row group's share of the array's MAC capacity: the
+    lightest bin goes to the group with the fewest MACs per CPE, the
+    heaviest to the group with the most, and blocks are dealt round-robin to
+    the rows of their group.  Any residual per-row skew left by the binning
+    granularity is what Load Redistribution subsequently removes.
+    """
+    block_nonzeros = np.asarray(block_nonzeros, dtype=np.int64)
+    if block_nonzeros.ndim != 2:
+        raise ValueError("block_nonzeros must be (num_vertices, num_blocks)")
+    flat = block_nonzeros.ravel()
+    macs_per_row = config.macs_per_row
+    num_groups = config.num_groups
+    rows_per_group = config.rows_per_group
+    group_macs = np.asarray(
+        [macs * rows for macs, rows in zip(config.macs_per_group, rows_per_group)],
+        dtype=np.float64,
+    )
+
+    # Sort ascending by nonzero count (light blocks first).
+    order = np.argsort(flat, kind="stable")
+    sorted_nonzeros = flat[order]
+    cumulative_work = np.cumsum(sorted_nonzeros.astype(np.float64))
+    total_work = float(cumulative_work[-1]) if cumulative_work.size else 0.0
+    capacity_fraction = group_macs / group_macs.sum()
+    targets = np.cumsum(capacity_fraction)[:-1] * total_work
+    boundaries = np.concatenate(
+        [[0], np.searchsorted(cumulative_work, targets, side="left"), [flat.size]]
+    ).astype(np.int64)
+    boundaries = np.maximum.accumulate(boundaries)
+
+    per_row_blocks: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(config.num_rows)]
+    row_offset = 0
+    for group in range(num_groups):
+        group_blocks = sorted_nonzeros[boundaries[group] : boundaries[group + 1]]
+        rows = rows_per_group[group]
+        # Round-robin deal of the (sorted) blocks across the group's rows.
+        for local_row in range(rows):
+            per_row_blocks[row_offset + local_row] = group_blocks[local_row::rows]
+        row_offset += rows
+
+    nonzeros, cycles, counts = _row_cycles_from_blocks(per_row_blocks, macs_per_row)
+    return BlockAssignment(
+        row_nonzeros=nonzeros,
+        row_cycles=cycles,
+        row_block_counts=counts,
+        policy="flexible_mac",
+        preprocessing_operations=int(flat.size),
+    )

@@ -1,0 +1,117 @@
+"""Static Load Redistribution (LR) between CPE rows.
+
+Even with the Flexible MAC binning, the per-row Weighting workload is not
+perfectly level (Fig. 16).  GNNIE therefore performs a second, static
+balancing step (Section IV-C): the controller selects pairs of heavily and
+lightly loaded CPE rows ("LR pairs") and offloads a portion of the heavy
+row's remaining work to the light row.  To keep communication cheap the
+offload happens only after the current weights are no longer needed, and the
+light row's weight scratchpads are reloaded for the offloaded blocks — an
+overhead charged per moved cycle of work here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LoadRedistributionResult", "redistribute_load"]
+
+
+@dataclass(frozen=True)
+class LoadRedistributionResult:
+    """Per-row cycles before and after load redistribution."""
+
+    cycles_before: np.ndarray
+    cycles_after: np.ndarray
+    pairs: list[tuple[int, int]]
+    moved_cycles: int
+    overhead_cycles: int
+
+    @property
+    def max_before(self) -> int:
+        return int(self.cycles_before.max()) if self.cycles_before.size else 0
+
+    @property
+    def max_after(self) -> int:
+        return int(self.cycles_after.max()) if self.cycles_after.size else 0
+
+    @property
+    def imbalance_before(self) -> float:
+        mean = float(self.cycles_before.mean()) if self.cycles_before.size else 0.0
+        return float(self.max_before / mean) if mean else 1.0
+
+    @property
+    def imbalance_after(self) -> float:
+        mean = float(self.cycles_after.mean()) if self.cycles_after.size else 0.0
+        return float(self.max_after / mean) if mean else 1.0
+
+
+def redistribute_load(
+    row_cycles: np.ndarray,
+    *,
+    num_pairs: int | None = None,
+    transfer_overhead: float = 0.05,
+    max_transfer_fraction: float = 0.5,
+) -> LoadRedistributionResult:
+    """Pair heavy and light CPE rows and offload work between them.
+
+    Args:
+        row_cycles: Per-row Weighting cycles (the FM assignment's
+            ``row_cycles``).
+        num_pairs: Number of LR pairs to form; defaults to a quarter of the
+            rows (the paper pairs the four heaviest with the four lightest
+            rows of the 16-row array).
+        transfer_overhead: Fractional cycle overhead added to offloaded work
+            on the receiving row (weight scratchpad reload + operand
+            transfer).
+        max_transfer_fraction: At most this fraction of the heavy row's load
+            may be moved (the offload happens late in the pass, after the
+            resident weights are exhausted).
+
+    Returns:
+        Per-row cycles after redistribution plus the pairing bookkeeping.
+    """
+    cycles = np.asarray(row_cycles, dtype=np.float64)
+    if cycles.ndim != 1:
+        raise ValueError("row_cycles must be one-dimensional")
+    if not 0.0 <= transfer_overhead < 1.0:
+        raise ValueError("transfer_overhead must be in [0, 1)")
+    if not 0.0 < max_transfer_fraction <= 1.0:
+        raise ValueError("max_transfer_fraction must be in (0, 1]")
+    num_rows = cycles.size
+    if num_pairs is None:
+        num_pairs = max(1, num_rows // 4)
+    num_pairs = min(num_pairs, num_rows // 2)
+
+    after = cycles.copy()
+    order = np.argsort(cycles)
+    light_rows = order[:num_pairs]
+    heavy_rows = order[::-1][:num_pairs]
+    pairs: list[tuple[int, int]] = []
+    moved_total = 0.0
+    overhead_total = 0.0
+    for heavy, light in zip(heavy_rows, light_rows):
+        if heavy == light:
+            continue
+        heavy_load = after[heavy]
+        light_load = after[light]
+        if heavy_load <= light_load:
+            continue
+        # Move enough to equalize the pair, accounting for the overhead the
+        # receiving row pays on offloaded work, subject to the cap.
+        ideal_move = (heavy_load - light_load) / (2.0 + transfer_overhead)
+        move = min(ideal_move, max_transfer_fraction * heavy_load)
+        after[heavy] = heavy_load - move
+        after[light] = light_load + move * (1.0 + transfer_overhead)
+        pairs.append((int(heavy), int(light)))
+        moved_total += move
+        overhead_total += move * transfer_overhead
+    return LoadRedistributionResult(
+        cycles_before=np.ceil(cycles).astype(np.int64),
+        cycles_after=np.ceil(after).astype(np.int64),
+        pairs=pairs,
+        moved_cycles=int(round(moved_total)),
+        overhead_cycles=int(round(overhead_total)),
+    )

@@ -1,0 +1,199 @@
+"""Mapping the Weighting phase onto the CPE array (paper, Section IV).
+
+Weighting multiplies every (sparse) vertex feature vector ``h^{l-1}_i`` by
+the dense weight matrix ``W^l`` under a weight-stationary dataflow:
+
+* the feature dimension is split into blocks of ``k = ceil(F^{l-1} / M)``
+  elements, one block per CPE row,
+* ``N`` columns of ``W^l`` are resident at a time (one column per CPE
+  column); a *pass* streams every vertex's blocks against those columns,
+  and ``ceil(F^l / N)`` passes complete the layer,
+* zero feature elements are skipped (zero-detection buffer), so a block's
+  cost is its nonzero count,
+* the Flexible MAC binning and Load Redistribution policies of
+  :mod:`repro.mapping.binning` and :mod:`repro.mapping.load_redistribution`
+  level the per-row load.
+
+:func:`schedule_weighting` builds the static schedule (block size, passes,
+per-row assignment under the configured policy), and
+:func:`weighting_functional` carries out the same blocked computation
+numerically so tests can confirm the mapping is exact (every nonzero touched
+exactly once, result equal to the dense GEMM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.config import AcceleratorConfig
+from repro.mapping.binning import BlockAssignment, baseline_assignment, flexible_mac_assignment
+from repro.mapping.load_redistribution import LoadRedistributionResult, redistribute_load
+from repro.sparse.feature_matrix import block_nonzero_counts
+
+__all__ = ["WeightingSchedule", "schedule_weighting", "weighting_functional"]
+
+
+@dataclass(frozen=True)
+class WeightingSchedule:
+    """Static schedule of one layer's Weighting phase on the CPE array.
+
+    Attributes:
+        block_size: k, elements of the feature vector per CPE row.
+        num_blocks: Number of k-blocks per feature vector (≤ num_rows).
+        num_passes: ceil(F_out / num_cols) weight-column passes.
+        assignment: Per-row workload under the *active* policy.
+        baseline: Per-row workload under the position-based mapping (kept for
+            the Fig. 16 comparison even when FM is enabled).
+        load_redistribution: LR outcome when enabled, else None.
+        row_cycles_per_pass: Final per-row cycles of one pass after all
+            enabled balancing steps.
+        total_nonzero_macs: MAC operations after zero skipping for the whole
+            layer (nonzeros × F_out).
+        total_dense_macs: MACs a dense (non-skipping) engine would need.
+    """
+
+    block_size: int
+    num_blocks: int
+    num_passes: int
+    assignment: BlockAssignment
+    baseline: BlockAssignment
+    load_redistribution: LoadRedistributionResult | None
+    row_cycles_per_pass: np.ndarray
+    total_nonzero_macs: int
+    total_dense_macs: int
+
+    @property
+    def cycles_per_pass(self) -> int:
+        """One pass is gated by the slowest CPE row."""
+        return int(self.row_cycles_per_pass.max()) if self.row_cycles_per_pass.size else 0
+
+    @property
+    def compute_cycles(self) -> int:
+        """Compute-bound Weighting cycles for the layer (all passes)."""
+        return self.num_passes * self.cycles_per_pass
+
+    @property
+    def average_row_utilization(self) -> float:
+        """Mean row-busy fraction relative to the slowest row."""
+        maximum = self.cycles_per_pass
+        if maximum == 0:
+            return 1.0
+        return float(self.row_cycles_per_pass.mean() / maximum)
+
+
+def schedule_weighting(
+    features: np.ndarray | None,
+    out_features: int,
+    config: AcceleratorConfig,
+    *,
+    block_nonzeros: np.ndarray | None = None,
+    in_features: int | None = None,
+) -> WeightingSchedule:
+    """Build the Weighting schedule for a feature matrix and output width.
+
+    Args:
+        features: ``(V, F_in)`` input feature matrix of the layer (only its
+            nonzero structure matters).  May be ``None`` when a precomputed
+            ``block_nonzeros`` (plus ``in_features``) is supplied instead.
+        out_features: F_out, the number of weight-matrix columns.
+        config: Accelerator configuration (array shape, MAC allocation,
+            policy flags).
+        block_nonzeros: Optional precomputed ``(V, num_blocks)`` nonzero
+            counts (used by the simulator for later layers whose features
+            are modeled statistically rather than materialized).
+        in_features: F_in; required when ``block_nonzeros`` is given.
+    """
+    if out_features <= 0:
+        raise ValueError("out_features must be positive")
+    if block_nonzeros is None:
+        if features is None:
+            raise ValueError("either features or block_nonzeros must be provided")
+        features = np.asarray(features)
+        if features.ndim != 2:
+            raise ValueError("features must be (V, F_in)")
+        in_features = features.shape[1]
+        block_size = -(-in_features // config.num_rows)
+        blocks = block_nonzero_counts(features, block_size)
+    else:
+        if in_features is None:
+            raise ValueError("in_features is required when block_nonzeros is supplied")
+        blocks = np.asarray(block_nonzeros, dtype=np.int64)
+        if blocks.ndim != 2:
+            raise ValueError("block_nonzeros must be (V, num_blocks)")
+        block_size = -(-in_features // config.num_rows)
+    num_blocks = blocks.shape[1]
+    num_passes = -(-out_features // config.num_cols)
+
+    baseline = baseline_assignment(blocks, config)
+    if config.enable_flexible_mac:
+        assignment = flexible_mac_assignment(blocks, config)
+    else:
+        assignment = baseline
+
+    if not config.enable_zero_skipping:
+        # A non-skipping engine pays for every element of every block, so the
+        # per-row cycle counts are recomputed with fully dense blocks.
+        dense_blocks = np.full_like(blocks, fill_value=block_size)
+        if config.enable_flexible_mac:
+            assignment = flexible_mac_assignment(dense_blocks, config)
+        else:
+            assignment = baseline_assignment(dense_blocks, config)
+
+    load_redistribution = None
+    row_cycles = assignment.row_cycles
+    if config.enable_load_redistribution:
+        load_redistribution = redistribute_load(row_cycles)
+        row_cycles = load_redistribution.cycles_after
+
+    total_nonzeros = int(blocks.sum())
+    total_dense = int(blocks.shape[0] * blocks.shape[1] * block_size)
+    return WeightingSchedule(
+        block_size=int(block_size),
+        num_blocks=int(num_blocks),
+        num_passes=int(num_passes),
+        assignment=assignment,
+        baseline=baseline,
+        load_redistribution=load_redistribution,
+        row_cycles_per_pass=np.asarray(row_cycles, dtype=np.int64),
+        total_nonzero_macs=total_nonzeros * out_features,
+        total_dense_macs=total_dense * out_features,
+    )
+
+
+def weighting_functional(
+    features: np.ndarray, weight: np.ndarray, config: AcceleratorConfig
+) -> np.ndarray:
+    """Blocked, zero-skipping Weighting that mirrors the hardware mapping.
+
+    Processes the feature dimension in k-element blocks (one per CPE row) and
+    the output dimension in N-column passes, accumulating partial results per
+    (vertex, output column) the way the MPEs do.  Numerically identical to
+    ``features @ weight``; the test suite asserts this, which validates that
+    the schedule covers every nonzero exactly once.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    if features.shape[1] != weight.shape[0]:
+        raise ValueError("feature and weight dimensions do not agree")
+    num_vertices, in_features = features.shape
+    out_features = weight.shape[1]
+    block_size = -(-in_features // config.num_rows)
+    num_passes = -(-out_features // config.num_cols)
+    output = np.zeros((num_vertices, out_features), dtype=np.float64)
+    for pass_index in range(num_passes):
+        col_start = pass_index * config.num_cols
+        col_end = min(col_start + config.num_cols, out_features)
+        resident_weights = weight[:, col_start:col_end]
+        for block_index in range(config.num_rows):
+            row_start = block_index * block_size
+            if row_start >= in_features:
+                break
+            row_end = min(row_start + block_size, in_features)
+            feature_block = features[:, row_start:row_end]
+            weight_block = resident_weights[row_start:row_end, :]
+            # Zero skipping: rows of the block with no nonzeros do no work;
+            # numerically the product is unchanged.
+            output[:, col_start:col_end] += feature_block @ weight_block
+    return output

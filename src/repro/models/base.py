@@ -1,0 +1,205 @@
+"""Common layer interface and shared helpers for the functional GNN models.
+
+Every GNN in Table I of the paper performs the same two-phase computation per
+layer:
+
+* **Weighting** — multiply each vertex feature vector ``h^{l-1}_i`` by a dense
+  weight matrix ``W^l``.
+* **Aggregation** — combine the weighted vectors over each vertex's
+  neighborhood (sum / mean / max / attention-weighted sum).
+
+The classes here express that structure explicitly so that (a) the simulator
+can ask any model for its per-layer workload without knowing which GNN it is,
+and (b) the accelerator mapping can be cross-checked against a functional
+reference that computes Weighting and Aggregation separately.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.models.layers import relu, softmax
+
+__all__ = [
+    "LayerWorkload",
+    "GNNLayer",
+    "GNNModel",
+    "symmetric_normalization_coefficients",
+    "apply_activation",
+]
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """Abstract operation counts of one GNN layer on one graph.
+
+    The baseline platform models (CPU / GPU / HyGCN / AWB-GCN) and the
+    throughput accounting (Table IV) all consume this structure.
+
+    Attributes:
+        weighting_macs: Multiply-accumulate operations in the Weighting phase
+            (after zero skipping when ``sparse_aware`` is set by the caller).
+        aggregation_ops: Scalar add/compare operations in Aggregation.
+        attention_ops: Extra operations for attention (GAT) or other
+            edge-score computations; zero for the simpler GNNs.
+        dram_bytes: Minimum off-chip traffic (features in + results out +
+            weights), excluding re-fetches caused by limited buffering.
+    """
+
+    weighting_macs: int
+    aggregation_ops: int
+    attention_ops: int
+    dram_bytes: int
+
+    @property
+    def total_ops(self) -> int:
+        return int(self.weighting_macs + self.aggregation_ops + self.attention_ops)
+
+    def __add__(self, other: "LayerWorkload") -> "LayerWorkload":
+        return LayerWorkload(
+            weighting_macs=self.weighting_macs + other.weighting_macs,
+            aggregation_ops=self.aggregation_ops + other.aggregation_ops,
+            attention_ops=self.attention_ops + other.attention_ops,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+        )
+
+
+def symmetric_normalization_coefficients(adjacency: CSRGraph) -> np.ndarray:
+    """Edge coefficients ``1 / sqrt(d_i d_j)`` for GCN aggregation.
+
+    Degrees are taken over the self-loop-augmented graph, matching the
+    normalized adjacency ``D^-1/2 (A + I) D^-1/2`` of Eq. (5).
+    """
+    degrees = adjacency.degrees().astype(np.float64) + 1.0  # + self loop
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    edges = adjacency.edge_array()
+    return inv_sqrt[edges[:, 0]] * inv_sqrt[edges[:, 1]]
+
+
+def apply_activation(values: np.ndarray, activation: str) -> np.ndarray:
+    """Apply the layer activation σ (ReLU, softmax, or identity)."""
+    if activation == "relu":
+        return relu(values)
+    if activation == "softmax":
+        return softmax(values, axis=-1)
+    if activation in ("none", "identity"):
+        return values
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+class GNNLayer(ABC):
+    """One Weighting + Aggregation layer of a GNN."""
+
+    #: Human-readable model family name ("GCN", "GAT", ...).
+    model_name: str = "GNN"
+
+    def __init__(self, in_features: int, out_features: int, *, activation: str = "relu") -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.activation = activation
+
+    @abstractmethod
+    def forward(self, adjacency: CSRGraph, features: np.ndarray) -> np.ndarray:
+        """Compute the layer output ``h^l`` from ``h^{l-1}``."""
+
+    @abstractmethod
+    def weight_matrices(self) -> list[np.ndarray]:
+        """All dense weight matrices the layer multiplies features by."""
+
+    def workload(
+        self, adjacency: CSRGraph, features: np.ndarray, *, sparse_aware: bool = True
+    ) -> LayerWorkload:
+        """Abstract operation counts for this layer on the given graph.
+
+        The default implementation covers the common Weighting + sum
+        Aggregation structure; attention-style layers override
+        :meth:`_attention_ops`.
+        """
+        num_vertices = adjacency.num_vertices
+        num_edges = adjacency.num_edges
+        if sparse_aware:
+            nonzeros = int(np.count_nonzero(features))
+        else:
+            nonzeros = int(features.size)
+        weighting_macs = nonzeros * self.out_features
+        aggregation_ops = (num_edges + num_vertices) * self.out_features
+        attention_ops = self._attention_ops(num_vertices, num_edges)
+        dram_bytes = (
+            int(np.count_nonzero(features)) * 2  # RLC-ish input traffic
+            + num_vertices * self.out_features  # results written back
+            + self.in_features * self.out_features  # weights
+        )
+        return LayerWorkload(
+            weighting_macs=int(weighting_macs),
+            aggregation_ops=int(aggregation_ops),
+            attention_ops=int(attention_ops),
+            dram_bytes=int(dram_bytes),
+        )
+
+    def _attention_ops(self, num_vertices: int, num_edges: int) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(in={self.in_features}, out={self.out_features}, "
+            f"activation={self.activation!r})"
+        )
+
+
+class GNNModel:
+    """A stack of GNN layers applied sequentially to a graph."""
+
+    def __init__(self, layers: list[GNNLayer], *, name: str | None = None) -> None:
+        if not layers:
+            raise ValueError("a GNN model needs at least one layer")
+        for earlier, later in zip(layers, layers[1:]):
+            if earlier.out_features != later.in_features:
+                raise ValueError(
+                    "layer dimensions do not chain: "
+                    f"{earlier.out_features} -> {later.in_features}"
+                )
+        self.layers = list(layers)
+        self.name = name or layers[0].model_name
+
+    def forward(self, adjacency: CSRGraph, features: np.ndarray) -> np.ndarray:
+        """Run all layers and return the final vertex representations."""
+        hidden = np.asarray(features, dtype=np.float64)
+        for layer in self.layers:
+            hidden = layer.forward(adjacency, hidden)
+        return hidden
+
+    def layer_outputs(self, adjacency: CSRGraph, features: np.ndarray) -> list[np.ndarray]:
+        """Outputs of every layer (needed by GINConv's graph readout)."""
+        outputs = []
+        hidden = np.asarray(features, dtype=np.float64)
+        for layer in self.layers:
+            hidden = layer.forward(adjacency, hidden)
+            outputs.append(hidden)
+        return outputs
+
+    def workload(
+        self, adjacency: CSRGraph, features: np.ndarray, *, sparse_aware: bool = True
+    ) -> LayerWorkload:
+        """Total workload across all layers (later layers use dense features)."""
+        total = LayerWorkload(0, 0, 0, 0)
+        hidden = np.asarray(features, dtype=np.float64)
+        for layer in self.layers:
+            total = total + layer.workload(adjacency, hidden, sparse_aware=sparse_aware)
+            hidden = layer.forward(adjacency, hidden)
+        return total
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        dims = " -> ".join(
+            [str(self.layers[0].in_features)] + [str(layer.out_features) for layer in self.layers]
+        )
+        return f"GNNModel(name={self.name!r}, dims={dims})"

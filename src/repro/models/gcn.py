@@ -1,0 +1,62 @@
+"""Graph Convolutional Network (GCN) layer [Kipf & Welling 2017].
+
+Layer rule (Table I of the paper):
+
+    h^l_i = σ( Σ_{j ∈ {i} ∪ N(i)}  (1 / sqrt(d_i d_j)) · h^{l-1}_j W^l )
+
+GNNIE computes this as Ã (h W) — Weighting first, then Aggregation over the
+normalized adjacency — because that ordering needs an order of magnitude
+fewer operations (Section III, Eq. (5)).  The functional model here does the
+same so that intermediate values (the weighted features ηw) line up with what
+the accelerator mapping produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.models.base import GNNLayer, apply_activation, symmetric_normalization_coefficients
+from repro.models.layers import glorot_init, segment_sum
+
+__all__ = ["GCNLayer"]
+
+
+class GCNLayer(GNNLayer):
+    """One GCN layer with symmetric degree normalization and self-loops."""
+
+    model_name = "GCN"
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        activation: str = "relu",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(in_features, out_features, activation=activation)
+        self.weight = glorot_init(in_features, out_features, seed=seed)
+
+    def weight_matrices(self) -> list[np.ndarray]:
+        return [self.weight]
+
+    def forward(self, adjacency: CSRGraph, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} input features, got {features.shape[1]}"
+            )
+        # Weighting: ηw_i = h_i W   (dense GEMM; zeros contribute nothing).
+        weighted = features @ self.weight
+
+        # Aggregation: Σ_j (1/sqrt(d_i d_j)) ηw_j over j ∈ {i} ∪ N(i).
+        degrees = adjacency.degrees().astype(np.float64) + 1.0
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+        edges = adjacency.edge_array()
+        coefficients = symmetric_normalization_coefficients(adjacency)
+        messages = weighted[edges[:, 0]] * coefficients[:, None]
+        aggregated = segment_sum(messages, edges[:, 1], adjacency.num_vertices)
+        # Self-loop contribution: 1/d_i · ηw_i.
+        aggregated += weighted * (inv_sqrt * inv_sqrt)[:, None]
+        return apply_activation(aggregated, self.activation)

@@ -1,0 +1,157 @@
+"""Numerical building blocks shared by the functional GNN models.
+
+Everything is plain NumPy: activations, neighborhood softmax, weight
+initialization, and a small dense MLP (used by GINConv and by the training
+loop behind the Fig. 1 accuracy study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "softmax",
+    "segment_softmax",
+    "segment_sum",
+    "segment_max",
+    "segment_mean",
+    "glorot_init",
+    "MLP",
+]
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Elementwise rectified linear unit."""
+    return np.maximum(values, 0.0)
+
+
+def leaky_relu(values: np.ndarray, negative_slope: float = 0.2) -> np.ndarray:
+    """Elementwise LeakyReLU with the GAT-standard slope of 0.2."""
+    return np.where(values > 0.0, values, negative_slope * values)
+
+
+def sigmoid(values: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(values, dtype=np.float64)
+    positive = values >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-values[positive]))
+    exp_vals = np.exp(values[~positive])
+    out[~positive] = exp_vals / (1.0 + exp_vals)
+    return out
+
+
+def softmax(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = values - np.max(values, axis=axis, keepdims=True)
+    exp_vals = np.exp(shifted)
+    return exp_vals / np.sum(exp_vals, axis=axis, keepdims=True)
+
+
+def segment_sum(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Sum ``values`` rows grouped by ``segment_ids`` (scatter-add)."""
+    values = np.asarray(values, dtype=np.float64)
+    output_shape = (num_segments,) + values.shape[1:]
+    output = np.zeros(output_shape, dtype=np.float64)
+    np.add.at(output, segment_ids, values)
+    return output
+
+
+def segment_max(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Per-segment elementwise maximum; empty segments yield zeros."""
+    values = np.asarray(values, dtype=np.float64)
+    output_shape = (num_segments,) + values.shape[1:]
+    output = np.full(output_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(output, segment_ids, values)
+    output[np.isneginf(output)] = 0.0
+    return output
+
+
+def segment_mean(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Per-segment mean; empty segments yield zeros."""
+    totals = segment_sum(values, segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (totals.ndim - 1))
+    return totals / counts
+
+
+def segment_softmax(
+    scores: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Softmax of ``scores`` normalized within each segment.
+
+    This is the attention normalization of GATs: each edge score e_ij is
+    exponentiated and divided by the sum of exponentiated scores over the
+    destination vertex's incoming edges.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    segment_maxima = segment_max(scores, segment_ids, num_segments)
+    shifted = scores - segment_maxima[segment_ids]
+    exp_scores = np.exp(shifted)
+    denominators = segment_sum(exp_scores, segment_ids, num_segments)
+    denominators = np.maximum(denominators, 1e-30)
+    return exp_scores / denominators[segment_ids]
+
+
+def glorot_init(rows: int, cols: int, *, seed: int = 0) -> np.ndarray:
+    """Glorot/Xavier uniform weight initialization."""
+    rng = np.random.default_rng(seed)
+    limit = np.sqrt(6.0 / (rows + cols))
+    return rng.uniform(-limit, limit, size=(rows, cols))
+
+
+@dataclass
+class MLP:
+    """A small fully connected network with ReLU hidden activations."""
+
+    weights: list[np.ndarray]
+    biases: list[np.ndarray]
+    output_activation: str = "none"
+
+    @classmethod
+    def create(
+        cls,
+        layer_sizes: list[int],
+        *,
+        seed: int = 0,
+        output_activation: str = "none",
+    ) -> "MLP":
+        """Create an MLP with the given layer sizes, e.g. [128, 128, 64]."""
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes needs at least an input and an output size")
+        weights = []
+        biases = []
+        for index in range(len(layer_sizes) - 1):
+            weights.append(
+                glorot_init(layer_sizes[index], layer_sizes[index + 1], seed=seed + index)
+            )
+            biases.append(np.zeros(layer_sizes[index + 1]))
+        return cls(weights=weights, biases=biases, output_activation=output_activation)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Apply the MLP to a batch of row vectors."""
+        hidden = np.asarray(inputs, dtype=np.float64)
+        last = len(self.weights) - 1
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            hidden = hidden @ weight + bias
+            if index < last:
+                hidden = relu(hidden)
+        if self.output_activation == "relu":
+            hidden = relu(hidden)
+        elif self.output_activation == "sigmoid":
+            hidden = sigmoid(hidden)
+        elif self.output_activation == "softmax":
+            hidden = softmax(hidden, axis=-1)
+        elif self.output_activation != "none":
+            raise ValueError(f"unknown output activation {self.output_activation!r}")
+        return hidden
+
+    @property
+    def num_parameters(self) -> int:
+        return int(
+            sum(weight.size for weight in self.weights) + sum(bias.size for bias in self.biases)
+        )

@@ -1,0 +1,125 @@
+"""Fixed-point quantization utilities.
+
+GNNIE's buffer sizing assumes 1-byte weights and features ("For a 1-byte
+weight ... the buffer size is 4K×16×2 = 128KB", Section VIII-A), i.e. the
+datapath operates on 8-bit fixed-point values.  This module provides the
+symmetric linear quantizer used to study that choice:
+
+* :func:`quantize_tensor` / :func:`dequantize_tensor` — symmetric per-tensor
+  quantization to a configurable bit width,
+* :class:`QuantizedTensor` — the packed representation with its scale,
+* :func:`quantization_error` — relative error metrics,
+* :func:`quantized_model_agreement` — end-to-end check of how often a GNN's
+  argmax prediction survives quantizing its weights and inputs, which is the
+  accuracy-relevant question for the accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.models.base import GNNModel
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "quantization_error",
+    "quantized_model_agreement",
+]
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A symmetric, per-tensor quantized array."""
+
+    values: np.ndarray
+    scale: float
+    bits: int
+
+    @property
+    def num_levels(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float64) * self.scale
+
+    def memory_bytes(self) -> int:
+        bytes_per_value = max(1, (self.bits + 7) // 8)
+        return int(self.values.size * bytes_per_value)
+
+
+def quantize_tensor(values: np.ndarray, *, bits: int = 8) -> QuantizedTensor:
+    """Symmetric linear quantization to ``bits`` (signed) bits."""
+    if not 2 <= bits <= 16:
+        raise ValueError("bits must be between 2 and 16")
+    values = np.asarray(values, dtype=np.float64)
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    levels = (1 << (bits - 1)) - 1
+    scale = max_abs / levels if max_abs > 0 else 1.0
+    quantized = np.clip(np.round(values / scale), -levels, levels)
+    dtype = np.int8 if bits <= 8 else np.int16
+    return QuantizedTensor(values=quantized.astype(dtype), scale=scale, bits=bits)
+
+
+def dequantize_tensor(tensor: QuantizedTensor) -> np.ndarray:
+    """Recover the floating-point approximation of a quantized tensor."""
+    return tensor.dequantize()
+
+
+def quantization_error(values: np.ndarray, *, bits: int = 8) -> dict[str, float]:
+    """Round-trip error metrics of quantizing ``values`` to ``bits`` bits."""
+    values = np.asarray(values, dtype=np.float64)
+    reconstructed = quantize_tensor(values, bits=bits).dequantize()
+    difference = values - reconstructed
+    denominator = float(np.linalg.norm(values)) or 1.0
+    return {
+        "max_abs_error": float(np.max(np.abs(difference))) if values.size else 0.0,
+        "relative_l2_error": float(np.linalg.norm(difference)) / denominator,
+        "mean_abs_error": float(np.mean(np.abs(difference))) if values.size else 0.0,
+    }
+
+
+def quantized_model_agreement(
+    model: GNNModel, graph: Graph, *, bits: int = 8
+) -> dict[str, float]:
+    """Fraction of vertices whose argmax prediction survives quantization.
+
+    Weights and input features are quantized to ``bits`` bits (the layer
+    arithmetic itself stays in floating point, mirroring an accelerator with
+    wide accumulators), and the argmax class of every vertex is compared
+    against the full-precision model.
+    """
+    baseline = model.forward(graph.adjacency, graph.features)
+
+    original_weights: list[np.ndarray] = []
+    for layer in model.layers:
+        for matrix in layer.weight_matrices():
+            original_weights.append(matrix.copy())
+
+    try:
+        for layer in model.layers:
+            for matrix in layer.weight_matrices():
+                matrix[...] = quantize_tensor(matrix, bits=bits).dequantize()
+        quantized_features = quantize_tensor(graph.features, bits=bits).dequantize()
+        quantized_output = model.forward(graph.adjacency, quantized_features)
+    finally:
+        cursor = 0
+        for layer in model.layers:
+            for matrix in layer.weight_matrices():
+                matrix[...] = original_weights[cursor]
+                cursor += 1
+
+    agreement = float(np.mean(baseline.argmax(axis=1) == quantized_output.argmax(axis=1)))
+    output_error = quantization_error(baseline, bits=16)  # scale-free baseline reference
+    relative_output_error = float(
+        np.linalg.norm(baseline - quantized_output) / (np.linalg.norm(baseline) or 1.0)
+    )
+    return {
+        "argmax_agreement": agreement,
+        "relative_output_error": relative_output_error,
+        "baseline_dynamic_range": output_error["max_abs_error"],
+    }

@@ -1,0 +1,40 @@
+"""GNNIE performance and energy simulation."""
+
+from repro.sim.aggregation_sim import (
+    aggregation_phase_from_cache,
+    run_cache_simulation,
+    simulate_aggregation,
+)
+from repro.sim.design_space import (
+    DesignPoint,
+    pareto_front,
+    sweep_buffer_sizes,
+    sweep_designs,
+    sweep_mac_allocations,
+)
+from repro.sim.engine import LATER_LAYER_DENSITY, GNNIESimulator
+from repro.sim.trace import phase_table, result_to_dict, result_to_json, results_to_csv
+from repro.sim.results import InferenceResult, LayerResult, PhaseResult
+from repro.sim.weighting_sim import simulate_weighting, weighting_phase_from_schedule
+
+__all__ = [
+    "GNNIESimulator",
+    "DesignPoint",
+    "sweep_designs",
+    "sweep_mac_allocations",
+    "sweep_buffer_sizes",
+    "pareto_front",
+    "result_to_dict",
+    "result_to_json",
+    "results_to_csv",
+    "phase_table",
+    "LATER_LAYER_DENSITY",
+    "InferenceResult",
+    "LayerResult",
+    "PhaseResult",
+    "simulate_weighting",
+    "weighting_phase_from_schedule",
+    "simulate_aggregation",
+    "run_cache_simulation",
+    "aggregation_phase_from_cache",
+]

@@ -1,0 +1,203 @@
+"""Aggregation-phase performance simulation.
+
+Combines the cache-controller simulation (which vertices are resident when,
+how many DRAM fetches the policy needs) with the Aggregation cycle model
+(how long the CPE array takes to process each cached-subgraph iteration) and
+with the output-buffer partial-sum traffic model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.controller import (
+    DegreeAwareCacheController,
+    simulate_vertex_order_baseline,
+    vertex_record_bytes,
+)
+from repro.cache.policy import CachePolicyConfig, CacheSimulationResult
+from repro.graph.csr import CSRGraph
+from repro.hw.config import AcceleratorConfig
+from repro.hw.dram import HBMModel
+from repro.mapping.aggregation import AggregationCycleModel
+from repro.sim.results import PhaseResult
+
+__all__ = ["run_cache_simulation", "simulate_aggregation", "aggregation_phase_from_cache"]
+
+#: Preprocessing (degree binning / vertex reordering) throughput.
+_PREPROCESSING_OPS_PER_CYCLE = 8
+
+
+def run_cache_simulation(
+    adjacency: CSRGraph,
+    config: AcceleratorConfig,
+    feature_length: int,
+    *,
+    gamma: int | None = None,
+    replacement_count: int | None = None,
+) -> CacheSimulationResult:
+    """Run the caching policy selected by the configuration.
+
+    With ``enable_degree_aware_caching`` the degree-aware controller is used
+    (sequential DRAM traffic only); otherwise the vertex-id-order baseline is
+    simulated, which pays random DRAM accesses for non-resident neighbors.
+    """
+    record_bytes = vertex_record_bytes(
+        feature_length,
+        adjacency.average_degree(),
+        bytes_per_value=config.bytes_per_value,
+    )
+    capacity = max(1, config.input_buffer_bytes // record_bytes)
+    if not config.enable_degree_aware_caching:
+        return simulate_vertex_order_baseline(
+            adjacency, capacity, bytes_per_vertex=record_bytes
+        )
+    policy = CachePolicyConfig(
+        capacity_vertices=capacity,
+        gamma=config.gamma if gamma is None else gamma,
+        replacement_count=replacement_count,
+        degree_ordered=True,
+    )
+    controller = DegreeAwareCacheController(
+        adjacency, policy, bytes_per_vertex=record_bytes
+    )
+    return controller.run()
+
+
+def aggregation_phase_from_cache(
+    cache_result: CacheSimulationResult,
+    adjacency: CSRGraph,
+    config: AcceleratorConfig,
+    feature_length: int,
+    *,
+    is_gat: bool = False,
+    name: str = "aggregation",
+) -> PhaseResult:
+    """Convert a cache simulation into the Aggregation :class:`PhaseResult`."""
+    model = AggregationCycleModel(config, feature_length, is_gat=is_gat)
+    dram = HBMModel(
+        bandwidth_bytes_per_s=config.dram_bandwidth_bytes_per_s,
+        frequency_hz=config.frequency_hz,
+        energy_pj_per_bit=config.dram_energy_pj_per_bit,
+    )
+    num_vertices = adjacency.num_vertices
+    bytes_per_value = config.bytes_per_value
+
+    compute_cycles = 0
+    sfu_cycles = 0
+    mac_ops = 0
+    sfu_ops = 0
+
+    for record in cache_result.iterations:
+        cost = model.iteration_cost(
+            record.edges_processed,
+            max_edges_per_vertex=record.max_edges_per_vertex,
+            num_resident_vertices=record.resident_vertices,
+        )
+        compute_cycles += cost.compute_cycles
+        sfu_cycles += cost.sfu_cycles
+        mac_ops += cost.addition_ops + cost.multiply_ops
+        sfu_ops += cost.sfu_ops
+
+    finalize = model.finalization_cost(num_vertices)
+    sfu_cycles += finalize.sfu_cycles
+    sfu_ops += finalize.sfu_ops
+
+    # --- DRAM traffic --------------------------------------------------- #
+    # Vertex records stream in sequentially (the policy's key guarantee);
+    # random accesses appear only for the id-order ablation baseline.
+    fetch_cycles = dram.sequential_transfer_cycles(cache_result.sequential_fetch_bytes)
+    random_cycles = 0
+    if cache_result.random_accesses:
+        random_cycles = dram.random_transfer_cycles(
+            cache_result.random_accesses,
+            bytes_per_access=max(
+                dram.random_access_granularity_bytes, feature_length * bytes_per_value
+            ),
+        )
+
+    # Output-buffer partial sums: at the start of each Round the accumulators
+    # of the still-unfinished vertices must be resident; whatever exceeds the
+    # output buffer spills to DRAM and is read back.  The per-Round
+    # unfinished counts come from the cache simulation's α snapshots
+    # (snapshot r-1 is the state entering Round r).
+    psum_spill_bytes = 0
+    for round_index in range(1, max(1, cache_result.num_rounds) + 1):
+        snapshots = cache_result.alpha_round_snapshots
+        if snapshots and round_index - 1 < len(snapshots):
+            unfinished = int(snapshots[round_index - 1].size)
+        else:
+            unfinished = num_vertices
+        live_bytes = unfinished * feature_length * bytes_per_value
+        psum_spill_bytes += 2 * max(0, live_bytes - config.output_buffer_bytes)
+    final_write_bytes = num_vertices * feature_length * bytes_per_value
+    spill_cycles = dram.sequential_transfer_cycles(psum_spill_bytes)
+    writeback_cycles = dram.sequential_transfer_cycles(
+        cache_result.alpha_writeback_bytes + final_write_bytes
+    )
+
+    # Double buffering overlaps the streaming traffic with computation at the
+    # phase level; only the excess is exposed as stall cycles.  Random
+    # accesses (baseline only) cannot be prefetched and are fully exposed.
+    busy_cycles = compute_cycles + sfu_cycles
+    streaming_cycles = fetch_cycles + spill_cycles + writeback_cycles
+    memory_stall_cycles = max(0, streaming_cycles - busy_cycles) + random_cycles
+
+    # α writebacks plus the GAT per-vertex (e_i1, e_i2) terms travel with the
+    # vertex records and are already part of sequential_fetch_bytes /
+    # alpha_writeback_bytes.
+    dram_read_bytes = (
+        cache_result.sequential_fetch_bytes
+        + cache_result.random_access_bytes
+        + psum_spill_bytes // 2
+    )
+    dram_write_bytes = (
+        cache_result.alpha_writeback_bytes + psum_spill_bytes // 2 + final_write_bytes
+    )
+
+    preprocessing_cycles = int(np.ceil(num_vertices / _PREPROCESSING_OPS_PER_CYCLE))
+    if not config.enable_degree_aware_caching:
+        preprocessing_cycles = 0
+
+    input_buffer_bytes = 2 * mac_ops * bytes_per_value // max(1, feature_length) * feature_length
+    output_buffer_bytes = 2 * (mac_ops // 2) * bytes_per_value
+
+    return PhaseResult(
+        name=name,
+        compute_cycles=int(compute_cycles),
+        memory_stall_cycles=int(memory_stall_cycles),
+        streaming_memory_cycles=int(streaming_cycles),
+        sfu_cycles=int(sfu_cycles),
+        preprocessing_cycles=preprocessing_cycles,
+        mac_operations=int(mac_ops),
+        sfu_operations=int(sfu_ops),
+        dram_read_bytes=int(dram_read_bytes),
+        dram_write_bytes=int(dram_write_bytes),
+        dram_random_accesses=int(cache_result.random_accesses),
+        input_buffer_bytes=int(input_buffer_bytes),
+        output_buffer_bytes=int(output_buffer_bytes),
+        dram_input_stream_bytes=int(
+            cache_result.sequential_fetch_bytes + cache_result.random_access_bytes
+        ),
+        dram_output_stream_bytes=int(
+            psum_spill_bytes + final_write_bytes + cache_result.alpha_writeback_bytes
+        ),
+    )
+
+
+def simulate_aggregation(
+    adjacency: CSRGraph,
+    config: AcceleratorConfig,
+    feature_length: int,
+    *,
+    is_gat: bool = False,
+    cache_result: CacheSimulationResult | None = None,
+    name: str = "aggregation",
+) -> tuple[PhaseResult, CacheSimulationResult]:
+    """Simulate Aggregation for one layer, running the cache policy if needed."""
+    if cache_result is None:
+        cache_result = run_cache_simulation(adjacency, config, feature_length)
+    phase = aggregation_phase_from_cache(
+        cache_result, adjacency, config, feature_length, is_gat=is_gat, name=name
+    )
+    return phase, cache_result

@@ -1,0 +1,158 @@
+"""Design-space exploration utilities.
+
+The paper chooses the Flexible MAC allocation and the on-chip buffer sizes
+"through design space exploration, optimizing the cost-to-benefit ratio
+(speedup gain : hardware overhead)" (Section VIII-A).  This module provides
+that exploration as a library feature:
+
+* :func:`sweep_designs` — evaluate a set of accelerator configurations on a
+  workload and collect latency, area, power-proxy and the β metric,
+* :func:`sweep_mac_allocations` — generate candidate MAC-per-row-group
+  allocations under a MAC budget,
+* :func:`sweep_buffer_sizes` — evaluate input/output buffer sizings,
+* :func:`pareto_front` — extract the latency/area Pareto-optimal designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Iterable, Sequence
+
+from repro.graph.graph import Graph
+from repro.hw.config import AcceleratorConfig
+from repro.hw.energy import AreaModel
+from repro.sim.engine import GNNIESimulator
+
+__all__ = [
+    "DesignPoint",
+    "sweep_designs",
+    "sweep_mac_allocations",
+    "sweep_buffer_sizes",
+    "pareto_front",
+]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated accelerator configuration."""
+
+    name: str
+    config: AcceleratorConfig
+    total_macs: int
+    area_mm2: float
+    cycles: int
+    latency_seconds: float
+    energy_joules: float
+
+    @property
+    def cycles_per_mm2(self) -> float:
+        return self.cycles * self.area_mm2
+
+    def beta_versus(self, baseline: "DesignPoint") -> float:
+        """Speedup gain per added MAC relative to a baseline design (Eq. 9)."""
+        added_macs = self.total_macs - baseline.total_macs
+        if added_macs <= 0:
+            return float("nan")
+        return (baseline.cycles - self.cycles) / added_macs
+
+
+def sweep_designs(
+    graph: Graph,
+    family: str,
+    configs: Iterable[AcceleratorConfig],
+    *,
+    area_model: AreaModel | None = None,
+) -> list[DesignPoint]:
+    """Simulate ``family`` on ``graph`` for every configuration."""
+    area = area_model or AreaModel()
+    points: list[DesignPoint] = []
+    for config in configs:
+        simulator = GNNIESimulator(config, area_model=area)
+        result = simulator.run(graph, family)
+        points.append(
+            DesignPoint(
+                name=config.name,
+                config=config,
+                total_macs=config.total_macs,
+                area_mm2=area.chip_area_mm2(config),
+                cycles=result.total_cycles,
+                latency_seconds=result.latency_seconds,
+                energy_joules=result.energy_joules,
+            )
+        )
+    return points
+
+
+def sweep_mac_allocations(
+    *,
+    mac_budget: int = 1280,
+    group_sizes: tuple[int, int, int] = (8, 4, 4),
+    candidate_macs: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    num_cols: int = 16,
+    base_config: AcceleratorConfig | None = None,
+) -> list[AcceleratorConfig]:
+    """Enumerate flexible-MAC allocations within a total MAC budget.
+
+    Allocations must be monotonically non-decreasing across row groups (the
+    architecture's constraint) and must not exceed ``mac_budget`` MACs in
+    total.  Returns one configuration per admissible allocation.
+    """
+    base = base_config or AcceleratorConfig()
+    configs: list[AcceleratorConfig] = []
+    for allocation in product(candidate_macs, repeat=len(group_sizes)):
+        if list(allocation) != sorted(allocation):
+            continue
+        total = sum(m * rows * num_cols for m, rows in zip(allocation, group_sizes))
+        if total > mac_budget:
+            continue
+        configs.append(
+            replace(
+                base,
+                macs_per_group=tuple(allocation),
+                rows_per_group=tuple(group_sizes),
+                name=f"FM{allocation}",
+            )
+        )
+    return configs
+
+
+def sweep_buffer_sizes(
+    graph: Graph,
+    family: str,
+    *,
+    input_buffer_kib: Sequence[int] = (128, 256, 512, 1024),
+    output_buffer_kib: Sequence[int] = (512, 1024, 2048),
+    base_config: AcceleratorConfig | None = None,
+) -> list[DesignPoint]:
+    """Evaluate combinations of input/output buffer capacities."""
+    base = base_config or AcceleratorConfig()
+    configs = []
+    for input_kib, output_kib in product(input_buffer_kib, output_buffer_kib):
+        configs.append(
+            replace(
+                base,
+                input_buffer_bytes=input_kib * 1024,
+                output_buffer_bytes=output_kib * 1024,
+                name=f"IB{input_kib}K-OB{output_kib}K",
+            )
+        )
+    return sweep_designs(graph, family, configs)
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Designs not dominated in (latency, area): lower is better for both."""
+    front: list[DesignPoint] = []
+    for candidate in points:
+        dominated = any(
+            other.latency_seconds <= candidate.latency_seconds
+            and other.area_mm2 <= candidate.area_mm2
+            and (
+                other.latency_seconds < candidate.latency_seconds
+                or other.area_mm2 < candidate.area_mm2
+            )
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda point: point.latency_seconds)

@@ -1,0 +1,179 @@
+"""Result records produced by the GNNIE performance/energy simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.energy import EnergyBreakdown
+
+__all__ = ["PhaseResult", "LayerResult", "InferenceResult"]
+
+
+@dataclass
+class PhaseResult:
+    """Cycle and traffic accounting of one phase (Weighting / Attention / Aggregation)."""
+
+    name: str
+    compute_cycles: int = 0
+    memory_stall_cycles: int = 0
+    sfu_cycles: int = 0
+    preprocessing_cycles: int = 0
+    #: Cycles the phase's streaming (prefetchable) DRAM traffic would take at
+    #: full bandwidth.  ``memory_stall_cycles`` holds the *exposed* part; the
+    #: engine re-derives exposure at layer level so that traffic of one phase
+    #: can hide under the compute of another (double buffering across the
+    #: Weighting/Aggregation pipeline).
+    streaming_memory_cycles: int = 0
+    mac_operations: int = 0
+    sfu_operations: int = 0
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    dram_random_accesses: int = 0
+    input_buffer_bytes: int = 0
+    output_buffer_bytes: int = 0
+    weight_buffer_bytes: int = 0
+    #: DRAM traffic attributed to each on-chip buffer (Fig. 14 breakdown).
+    dram_input_stream_bytes: int = 0
+    dram_weight_stream_bytes: int = 0
+    dram_output_stream_bytes: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (
+            self.compute_cycles
+            + self.memory_stall_cycles
+            + self.sfu_cycles
+            + self.preprocessing_cycles
+        )
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def merge(self, other: "PhaseResult") -> "PhaseResult":
+        """Combine two phase results (used to sum phases across layers)."""
+        return PhaseResult(
+            name=self.name,
+            compute_cycles=self.compute_cycles + other.compute_cycles,
+            memory_stall_cycles=self.memory_stall_cycles + other.memory_stall_cycles,
+            streaming_memory_cycles=self.streaming_memory_cycles
+            + other.streaming_memory_cycles,
+            sfu_cycles=self.sfu_cycles + other.sfu_cycles,
+            preprocessing_cycles=self.preprocessing_cycles + other.preprocessing_cycles,
+            mac_operations=self.mac_operations + other.mac_operations,
+            sfu_operations=self.sfu_operations + other.sfu_operations,
+            dram_read_bytes=self.dram_read_bytes + other.dram_read_bytes,
+            dram_write_bytes=self.dram_write_bytes + other.dram_write_bytes,
+            dram_random_accesses=self.dram_random_accesses + other.dram_random_accesses,
+            input_buffer_bytes=self.input_buffer_bytes + other.input_buffer_bytes,
+            output_buffer_bytes=self.output_buffer_bytes + other.output_buffer_bytes,
+            weight_buffer_bytes=self.weight_buffer_bytes + other.weight_buffer_bytes,
+            dram_input_stream_bytes=self.dram_input_stream_bytes + other.dram_input_stream_bytes,
+            dram_weight_stream_bytes=self.dram_weight_stream_bytes
+            + other.dram_weight_stream_bytes,
+            dram_output_stream_bytes=self.dram_output_stream_bytes
+            + other.dram_output_stream_bytes,
+        )
+
+
+@dataclass
+class LayerResult:
+    """All phases of one GNN layer."""
+
+    layer_index: int
+    in_features: int
+    out_features: int
+    weighting: PhaseResult
+    attention: PhaseResult | None
+    aggregation: PhaseResult
+
+    @property
+    def total_cycles(self) -> int:
+        cycles = self.weighting.total_cycles + self.aggregation.total_cycles
+        if self.attention is not None:
+            cycles += self.attention.total_cycles
+        return cycles
+
+    def phases(self) -> list[PhaseResult]:
+        if self.attention is None:
+            return [self.weighting, self.aggregation]
+        return [self.weighting, self.attention, self.aggregation]
+
+
+@dataclass
+class InferenceResult:
+    """Whole-inference outcome for one (dataset, GNN, configuration) triple."""
+
+    dataset: str
+    model: str
+    config_name: str
+    layers: list[LayerResult] = field(default_factory=list)
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    frequency_hz: float = 1.3e9
+    #: Preprocessing cycles charged once per inference (degree sorting).
+    global_preprocessing_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.total_cycles for layer in self.layers) + self.global_preprocessing_cycles
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.total_cycles / self.frequency_hz
+
+    @property
+    def total_mac_operations(self) -> int:
+        return sum(
+            phase.mac_operations for layer in self.layers for phase in layer.phases()
+        )
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(phase.dram_bytes for layer in self.layers for phase in layer.phases())
+
+    @property
+    def weighting_cycles(self) -> int:
+        return sum(layer.weighting.total_cycles for layer in self.layers)
+
+    @property
+    def aggregation_cycles(self) -> int:
+        cycles = sum(layer.aggregation.total_cycles for layer in self.layers)
+        cycles += sum(
+            layer.attention.total_cycles for layer in self.layers if layer.attention is not None
+        )
+        return cycles
+
+    @property
+    def effective_tops(self) -> float:
+        """Retired operations per second, in TOPS (one MAC = two operations)."""
+        if self.latency_seconds == 0:
+            return 0.0
+        return 2.0 * self.total_mac_operations / self.latency_seconds / 1e12
+
+    @property
+    def energy_joules(self) -> float:
+        return self.energy.total_joules
+
+    @property
+    def inferences_per_kilojoule(self) -> float:
+        """Energy efficiency as plotted in Fig. 15."""
+        joules = self.energy_joules
+        if joules <= 0:
+            return float("inf")
+        return 1.0 / (joules / 1000.0)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "dataset": self.dataset,
+            "model": self.model,
+            "config": self.config_name,
+            "cycles": self.total_cycles,
+            "latency_s": self.latency_seconds,
+            "weighting_cycles": self.weighting_cycles,
+            "aggregation_cycles": self.aggregation_cycles,
+            "macs": self.total_mac_operations,
+            "dram_bytes": self.total_dram_bytes,
+            "effective_tops": self.effective_tops,
+            "energy_j": self.energy_joules,
+            "inferences_per_kj": self.inferences_per_kilojoule,
+        }

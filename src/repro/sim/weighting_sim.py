@@ -1,0 +1,149 @@
+"""Weighting-phase performance simulation.
+
+Converts a :class:`~repro.mapping.weighting.WeightingSchedule` into cycles,
+DRAM traffic and buffer traffic for one layer.  The weight-stationary
+dataflow determines the traffic structure:
+
+* the (RLC-compressed, for the input layer) feature vectors stream from DRAM
+  through the input buffer once per pass,
+* each pass loads N fresh weight columns into the (double-buffered) weight
+  buffer,
+* completed output elements stream through the output buffer back to DRAM.
+
+DRAM fetches are overlapped with computation through double buffering; only
+the exposed portion (fetch time exceeding compute time of the overlapping
+pass) shows up as stall cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.config import AcceleratorConfig
+from repro.mapping.weighting import WeightingSchedule, schedule_weighting
+from repro.sim.results import PhaseResult
+from repro.sparse.rlc import rlc_compressed_bits
+
+__all__ = ["simulate_weighting", "weighting_phase_from_schedule"]
+
+#: Preprocessing (workload binning) throughput in operations per cycle; the
+#: binning is a streaming counting sort performed while data is fetched, so
+#: several block records are classified per cycle.
+_PREPROCESSING_OPS_PER_CYCLE = 32
+
+
+def weighting_phase_from_schedule(
+    schedule: WeightingSchedule,
+    num_vertices: int,
+    in_features: int,
+    out_features: int,
+    config: AcceleratorConfig,
+    *,
+    input_traffic_bits: int,
+    name: str = "weighting",
+) -> PhaseResult:
+    """Build the Weighting :class:`PhaseResult` from a static schedule."""
+    bytes_per_value = config.bytes_per_value
+    compute_cycles = schedule.compute_cycles
+
+    # --- DRAM traffic ---------------------------------------------------- #
+    input_bytes_per_pass = input_traffic_bits // 8
+    dram_read_features = input_bytes_per_pass * schedule.num_passes
+    dram_read_weights = in_features * out_features * bytes_per_value
+    dram_write_outputs = num_vertices * out_features * bytes_per_value
+
+    # --- Overlap of fetch and compute (double buffering) ------------------ #
+    bytes_per_cycle = config.dram_bytes_per_cycle
+    fetch_cycles_per_pass = int(np.ceil(input_bytes_per_pass / bytes_per_cycle))
+    weight_fetch_per_pass = int(
+        np.ceil(in_features * config.num_cols * bytes_per_value / bytes_per_cycle)
+    )
+    per_pass_fetch = fetch_cycles_per_pass + weight_fetch_per_pass
+    exposed_per_pass = max(0, per_pass_fetch - schedule.cycles_per_pass)
+    memory_stall_cycles = exposed_per_pass * schedule.num_passes + per_pass_fetch  # first fill
+    streaming_memory_cycles = per_pass_fetch * (schedule.num_passes + 1)
+
+    preprocessing_cycles = int(
+        np.ceil(schedule.assignment.preprocessing_operations / _PREPROCESSING_OPS_PER_CYCLE)
+    )
+
+    # --- On-chip buffer traffic (for the energy model) -------------------- #
+    input_buffer_bytes = dram_read_features + schedule.total_nonzero_macs // max(1, out_features)
+    # Each output element is accumulated from num_blocks partial results.
+    output_buffer_bytes = (
+        2 * num_vertices * out_features * bytes_per_value * max(1, schedule.num_blocks) // 4
+    )
+    weight_buffer_bytes = dram_read_weights + out_features * in_features * bytes_per_value
+
+    return PhaseResult(
+        name=name,
+        compute_cycles=int(compute_cycles),
+        memory_stall_cycles=int(memory_stall_cycles),
+        streaming_memory_cycles=int(streaming_memory_cycles),
+        preprocessing_cycles=preprocessing_cycles,
+        mac_operations=int(schedule.total_nonzero_macs),
+        dram_read_bytes=int(dram_read_features + dram_read_weights),
+        dram_write_bytes=int(dram_write_outputs),
+        input_buffer_bytes=int(input_buffer_bytes),
+        output_buffer_bytes=int(output_buffer_bytes),
+        weight_buffer_bytes=int(weight_buffer_bytes),
+        dram_input_stream_bytes=int(dram_read_features),
+        dram_weight_stream_bytes=int(dram_read_weights),
+        dram_output_stream_bytes=int(dram_write_outputs),
+    )
+
+
+def simulate_weighting(
+    config: AcceleratorConfig,
+    out_features: int,
+    *,
+    features: np.ndarray | None = None,
+    block_nonzeros: np.ndarray | None = None,
+    in_features: int | None = None,
+    is_input_layer: bool = True,
+    name: str = "weighting",
+) -> tuple[PhaseResult, WeightingSchedule]:
+    """Schedule and simulate one layer's Weighting phase.
+
+    Either ``features`` (actual matrix) or ``block_nonzeros`` +
+    ``in_features`` (statistical model for later layers) must be provided.
+    Input-layer features travel RLC-compressed; later layers are dense
+    enough that the paper bypasses the RLC decoder, so their traffic is the
+    dense size.
+    """
+    schedule = schedule_weighting(
+        features,
+        out_features,
+        config,
+        block_nonzeros=block_nonzeros,
+        in_features=in_features,
+    )
+    if features is not None:
+        num_vertices, feature_length = np.asarray(features).shape
+        if is_input_layer:
+            input_bits = rlc_compressed_bits(features, value_bits=8 * config.bytes_per_value)
+        else:
+            input_bits = int(np.asarray(features).size) * 8 * config.bytes_per_value
+    else:
+        if block_nonzeros is None or in_features is None:
+            raise ValueError("block_nonzeros and in_features are required without features")
+        num_vertices = int(np.asarray(block_nonzeros).shape[0])
+        feature_length = int(in_features)
+        nonzeros = int(np.asarray(block_nonzeros).sum())
+        if is_input_layer:
+            # RLC size model: one (run, value) symbol per nonzero.
+            from repro.sparse.rlc import RLC_RUN_BITS
+
+            input_bits = nonzeros * (RLC_RUN_BITS + 8 * config.bytes_per_value) + 32 * num_vertices
+        else:
+            input_bits = num_vertices * feature_length * 8 * config.bytes_per_value
+    phase = weighting_phase_from_schedule(
+        schedule,
+        num_vertices,
+        feature_length,
+        out_features,
+        config,
+        input_traffic_bits=input_bits,
+        name=name,
+    )
+    return phase, schedule

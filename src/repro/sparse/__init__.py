@@ -1,0 +1,25 @@
+"""Sparse-data utilities: RLC codec and sparse feature matrices."""
+
+from repro.sparse.feature_matrix import (
+    FeatureMatrix,
+    block_nonzero_counts,
+    generate_sparse_features,
+)
+from repro.sparse.rlc import (
+    RLC_RUN_BITS,
+    RLCEncoding,
+    rlc_compressed_bits,
+    rlc_decode,
+    rlc_encode,
+)
+
+__all__ = [
+    "FeatureMatrix",
+    "block_nonzero_counts",
+    "generate_sparse_features",
+    "RLCEncoding",
+    "rlc_encode",
+    "rlc_decode",
+    "rlc_compressed_bits",
+    "RLC_RUN_BITS",
+]

@@ -1,0 +1,140 @@
+"""Run-length compression (RLC) codec for sparse vertex feature vectors.
+
+GNNIE stores the highly sparse *input-layer* vertex feature vectors in DRAM
+using run-length compression (paper, Section III): RLC is lossless, the
+decoder is cheap in hardware, and — unlike CISS-style schemes — it does not
+force a lock-step systolic dataflow.  Data is kept in RLC form in the input
+buffer and only decoded when it is streamed into the CPE array; the decoder
+is bypassed for the denser feature vectors of later layers.
+
+The software model here encodes a vector as a sequence of
+``(zero_run_length, value)`` pairs with a bounded run-length field, mirroring
+the classic RLC used by Eyeriss-style accelerators: a run longer than the
+field maximum is split by emitting an explicit zero value.
+
+The codec exposes both the exact round-trip transform (for correctness
+testing) and the *size model* used by the memory-traffic accounting in the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RLCEncoding", "rlc_encode", "rlc_decode", "rlc_compressed_bits", "RLC_RUN_BITS"]
+
+# Bits used for the zero-run-length field.  Eight bits (runs up to 255) keeps
+# the decoder trivial while avoiding run-field overflow on the ultra-sparse
+# (>98% zero) input feature vectors, whose average zero gap is several tens
+# of elements; the simulator's DRAM traffic model uses the same width.
+RLC_RUN_BITS = 8
+_MAX_RUN = (1 << RLC_RUN_BITS) - 1
+
+
+@dataclass(frozen=True)
+class RLCEncoding:
+    """RLC-compressed representation of a 1-D vector.
+
+    Attributes:
+        runs: Zero-run length preceding each stored value.
+        values: Stored (possibly zero, when a run had to be split) values.
+        original_length: Length of the decoded vector.
+        value_bits: Bit width of each stored value.
+    """
+
+    runs: np.ndarray
+    values: np.ndarray
+    original_length: int
+    value_bits: int = 8
+
+    @property
+    def num_symbols(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def compressed_bits(self) -> int:
+        """Total storage in bits, including the length header word."""
+        return int(self.num_symbols * (RLC_RUN_BITS + self.value_bits) + 32)
+
+    @property
+    def uncompressed_bits(self) -> int:
+        return int(self.original_length * self.value_bits)
+
+    def compression_ratio(self) -> float:
+        """Uncompressed size / compressed size (>1 means RLC saves space)."""
+        if self.compressed_bits == 0:
+            return float("inf")
+        return self.uncompressed_bits / self.compressed_bits
+
+
+def rlc_encode(vector: np.ndarray, *, value_bits: int = 8) -> RLCEncoding:
+    """Encode a 1-D vector with run-length compression of zeros."""
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    runs: list[int] = []
+    values: list[float] = []
+    zero_run = 0
+    for element in vector:
+        if element == 0.0:
+            zero_run += 1
+            if zero_run > _MAX_RUN:
+                # Field overflow: emit the maximal run with an explicit zero.
+                runs.append(_MAX_RUN)
+                values.append(0.0)
+                zero_run = 0
+        else:
+            runs.append(zero_run)
+            values.append(float(element))
+            zero_run = 0
+    if zero_run > 0:
+        # Trailing zeros: representable because the decoder knows the
+        # original length, but we still emit a terminator symbol so that the
+        # size model counts the metadata.
+        runs.append(min(zero_run, _MAX_RUN))
+        values.append(0.0)
+    return RLCEncoding(
+        runs=np.asarray(runs, dtype=np.int64),
+        values=np.asarray(values, dtype=np.float64),
+        original_length=int(vector.size),
+        value_bits=value_bits,
+    )
+
+
+def rlc_decode(encoding: RLCEncoding) -> np.ndarray:
+    """Decode an :class:`RLCEncoding` back to the dense vector."""
+    output = np.zeros(encoding.original_length, dtype=np.float64)
+    cursor = 0
+    for run, value in zip(encoding.runs, encoding.values):
+        cursor += int(run)
+        if cursor >= encoding.original_length:
+            break
+        if value != 0.0:
+            output[cursor] = value
+        cursor += 1
+    return output
+
+
+def rlc_compressed_bits(
+    matrix: np.ndarray, *, value_bits: int = 8, run_bits: int = RLC_RUN_BITS
+) -> int:
+    """Size model: RLC-compressed size of a feature matrix, in bits.
+
+    This is the vectorized counterpart of encoding every row with
+    :func:`rlc_encode` and summing ``compressed_bits``; it is what the DRAM
+    traffic model calls for large matrices, where building explicit symbol
+    arrays per row would be wasteful.
+
+    The estimate counts one symbol per nonzero plus one overflow symbol per
+    ``2**run_bits - 1`` consecutive zeros plus a 32-bit length header per row.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    max_run = (1 << run_bits) - 1
+    nonzeros = np.count_nonzero(matrix, axis=1)
+    zeros = matrix.shape[1] - nonzeros
+    overflow_symbols = zeros // max_run
+    symbols = nonzeros + overflow_symbols
+    per_symbol = run_bits + value_bits
+    return int(np.sum(symbols * per_symbol) + 32 * matrix.shape[0])

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (synthetic datasets, cache simulations) are session-scoped so
+the several hundred tests stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_dataset, tiny_dataset
+from repro.graph import CSRGraph, Graph, power_law_graph
+from repro.hw import AcceleratorConfig
+from repro.sparse import generate_sparse_features
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """A 64-vertex power-law graph with sparse features."""
+    return tiny_dataset(seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_cora() -> Graph:
+    """A scaled-down Cora stand-in (fast enough for unit tests)."""
+    return build_dataset("cora", scale=0.25, seed=1)
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> Graph:
+    """A ~500-vertex power-law graph used by cache/aggregation tests."""
+    adjacency = power_law_graph(500, 2200, exponent=2.2, seed=11)
+    features = generate_sparse_features(500, 96, 0.9, seed=5)
+    rng = np.random.default_rng(7)
+    return Graph(
+        adjacency=adjacency,
+        features=features,
+        labels=rng.integers(5, size=500),
+        name="medium",
+        num_label_classes=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def default_config() -> AcceleratorConfig:
+    return AcceleratorConfig()
+
+
+@pytest.fixture()
+def line_graph() -> CSRGraph:
+    """A 6-vertex path graph: simple, hand-checkable adjacency."""
+    edges = [(i, i + 1) for i in range(5)]
+    return CSRGraph.from_edge_list(edges, num_vertices=6, symmetric=True)
+
+
+@pytest.fixture()
+def star_graph() -> CSRGraph:
+    """A star with vertex 0 at the center of 7 leaves (power-law extreme)."""
+    edges = [(0, i) for i in range(1, 8)]
+    return CSRGraph.from_edge_list(edges, num_vertices=8, symmetric=True)

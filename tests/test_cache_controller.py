@@ -1,0 +1,176 @@
+"""Tests for the degree-aware cache controller and the vertex-order baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CachePolicyConfig,
+    DegreeAwareCacheController,
+    simulate_vertex_order_baseline,
+    vertex_record_bytes,
+)
+from repro.graph import CSRGraph, power_law_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(400, 1600, exponent=2.1, seed=71)
+
+
+def run_controller(graph, capacity, gamma=5, degree_ordered=True, replacement=None):
+    policy = CachePolicyConfig(
+        capacity_vertices=capacity,
+        gamma=gamma,
+        replacement_count=replacement,
+        degree_ordered=degree_ordered,
+    )
+    controller = DegreeAwareCacheController(graph, policy, bytes_per_vertex=128)
+    return controller.run()
+
+
+class TestPolicyConfig:
+    def test_defaults(self):
+        policy = CachePolicyConfig(capacity_vertices=64)
+        assert policy.effective_replacement_count == 8
+        assert policy.gamma == 5
+
+    def test_explicit_replacement(self):
+        policy = CachePolicyConfig(capacity_vertices=64, replacement_count=5)
+        assert policy.effective_replacement_count == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachePolicyConfig(capacity_vertices=0)
+        with pytest.raises(ValueError):
+            CachePolicyConfig(capacity_vertices=8, gamma=-1)
+        with pytest.raises(ValueError):
+            CachePolicyConfig(capacity_vertices=8, replacement_count=0)
+
+    def test_vertex_record_bytes(self):
+        record = vertex_record_bytes(128, 10.0, bytes_per_value=1, index_bytes=4)
+        assert record == 128 + 40 + 8
+        with pytest.raises(ValueError):
+            vertex_record_bytes(0, 5.0)
+
+
+class TestDegreeAwareController:
+    def test_processes_every_edge_exactly_once(self, graph):
+        result = run_controller(graph, capacity=80)
+        undirected = graph.num_edges // 2
+        assert result.total_edges_processed == undirected
+        assert sum(record.edges_processed for record in result.iterations) == undirected
+
+    def test_all_dram_traffic_is_sequential(self, graph):
+        result = run_controller(graph, capacity=80)
+        assert result.random_accesses == 0
+        assert result.sequential_fetch_bytes > 0
+
+    def test_cache_larger_than_graph_single_round(self, graph):
+        result = run_controller(graph, capacity=graph.num_vertices)
+        assert result.num_rounds == 1
+        assert result.vertex_fetches == graph.num_vertices
+
+    def test_small_cache_needs_multiple_rounds_and_refetches(self, graph):
+        result = run_controller(graph, capacity=40)
+        assert result.num_rounds > 1
+        assert result.vertex_fetches > graph.num_vertices
+
+    def test_alpha_snapshots_include_initial_distribution(self, graph):
+        result = run_controller(graph, capacity=60)
+        assert len(result.alpha_round_snapshots) >= result.num_rounds
+        initial = result.alpha_round_snapshots[0]
+        np.testing.assert_array_equal(
+            np.sort(initial), np.sort(graph.degrees()[graph.degrees() > 0])
+        )
+
+    def test_alpha_maximum_decreases_over_rounds(self, graph):
+        result = run_controller(graph, capacity=60)
+        maxima = [snap.max() if snap.size else 0 for snap in result.alpha_round_snapshots]
+        assert all(later <= earlier for earlier, later in zip(maxima, maxima[1:]))
+
+    def test_larger_gamma_does_not_reduce_dram_accesses(self, graph):
+        low = run_controller(graph, capacity=60, gamma=2)
+        high = run_controller(graph, capacity=60, gamma=30)
+        assert high.total_dram_accesses >= low.total_dram_accesses
+
+    def test_degree_order_beats_id_order(self, graph):
+        """Streaming high-degree vertices first processes more edges per
+        fetch, so it needs no more DRAM accesses than id-order streaming."""
+        degree_order = run_controller(graph, capacity=60, degree_ordered=True)
+        id_order = run_controller(graph, capacity=60, degree_ordered=False)
+        assert degree_order.total_dram_accesses <= id_order.total_dram_accesses
+
+    def test_iteration_records_consistent(self, graph):
+        result = run_controller(graph, capacity=60)
+        for record in result.iterations:
+            assert record.resident_vertices <= 60
+            assert record.edges_processed >= 0
+            assert record.max_edges_per_vertex <= max(record.edges_processed, 0)
+
+    def test_star_graph_hub_retained(self):
+        """The hub of a star has the highest degree; with a cache of 3 the
+        policy keeps it resident while its α stays above γ, so almost every
+        leaf edge is processed in the first Round."""
+        star = CSRGraph.from_edge_list(
+            [(0, i) for i in range(1, 12)], num_vertices=12, symmetric=True
+        )
+        result = run_controller(star, capacity=3, gamma=2, replacement=2)
+        assert result.total_edges_processed == 11
+        assert result.num_rounds <= 2
+        first_round_edges = sum(
+            record.edges_processed for record in result.iterations if record.round_index == 1
+        )
+        assert first_round_edges >= 9
+
+    def test_deadlock_resolution_when_gamma_zero(self, graph):
+        """γ = 0 never marks eviction candidates; the controller must detect
+        the deadlock and force progress instead of spinning."""
+        result = run_controller(graph, capacity=40, gamma=0)
+        assert result.total_edges_processed == graph.num_edges // 2
+        assert result.deadlock_events > 0
+
+
+class TestVertexOrderBaseline:
+    def test_counts_random_accesses(self, graph):
+        result = simulate_vertex_order_baseline(graph, capacity_vertices=40)
+        assert result.random_accesses > 0
+        assert result.total_edges_processed == graph.num_edges // 2
+
+    def test_large_buffer_reduces_random_accesses(self, graph):
+        small = simulate_vertex_order_baseline(graph, capacity_vertices=20)
+        large = simulate_vertex_order_baseline(graph, capacity_vertices=graph.num_vertices)
+        assert large.random_accesses < small.random_accesses
+
+    def test_degree_aware_policy_eliminates_random_traffic(self, graph):
+        baseline = simulate_vertex_order_baseline(graph, capacity_vertices=60)
+        policy = run_controller(graph, capacity=60)
+        assert baseline.random_accesses > 0
+        assert policy.random_accesses == 0
+
+    def test_invalid_capacity(self, graph):
+        with pytest.raises(ValueError):
+            simulate_vertex_order_baseline(graph, capacity_vertices=0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=4, max_value=80),
+    num_edges=st.integers(min_value=3, max_value=300),
+    capacity=st.integers(min_value=2, max_value=50),
+    gamma=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=200),
+)
+def test_controller_completeness_property(num_vertices, num_edges, capacity, gamma, seed):
+    """Regardless of capacity, γ or topology, every undirected edge is
+    aggregated exactly once and the α counters drain to zero."""
+    graph = power_law_graph(num_vertices, num_edges, seed=seed)
+    policy = CachePolicyConfig(capacity_vertices=capacity, gamma=gamma)
+    controller = DegreeAwareCacheController(graph, policy, bytes_per_vertex=64)
+    result = controller.run()
+    assert result.total_edges_processed == graph.num_edges // 2
+    if result.alpha_round_snapshots:
+        assert result.alpha_round_snapshots[-1].size == 0 or result.num_rounds >= 1

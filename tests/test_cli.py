@@ -1,0 +1,102 @@
+"""Tests for the command-line interface (`python -m repro`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.dataset == "cora"
+        assert args.model == "gcn"
+        assert args.design is None
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--dataset", "imagenet"])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--model", "transformer"])
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "Cora" in output and "Reddit" in output
+
+    def test_simulate_command_table(self, capsys):
+        exit_code = main(
+            ["simulate", "--dataset", "cora", "--model", "gcn", "--scale", "0.1", "--seed", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Per-phase breakdown" in output
+        assert "weighting" in output and "aggregation" in output
+
+    def test_simulate_command_json(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dataset",
+                    "cora",
+                    "--model",
+                    "gat",
+                    "--scale",
+                    "0.1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["model"] == "GAT"
+        assert report["total_cycles"] > 0
+
+    def test_simulate_with_design_and_roofline(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--dataset",
+                    "cora",
+                    "--model",
+                    "gcn",
+                    "--scale",
+                    "0.1",
+                    "--design",
+                    "A",
+                    "--roofline",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Roofline classification" in output
+        assert "compute-bound fraction" in output
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--dataset", "cora", "--model", "gcn", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "PyG-CPU" in output and "AWB-GCN" in output and "EnGN" in output
+
+    def test_compare_marks_unsupported_platforms(self, capsys):
+        assert main(["compare", "--dataset", "cora", "--model", "gat", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "unsupported" in output
+
+    def test_designs_command(self, capsys):
+        assert main(["designs", "--dataset", "cora", "--model", "gcn", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "Design A" in output and "Design E" in output

@@ -1,0 +1,158 @@
+"""Tests for the dataset registry and synthetic dataset builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_SPECS,
+    build_dataset,
+    dataset_names,
+    dataset_spec,
+    tiny_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_five_paper_datasets_registered(self):
+        assert set(dataset_names()) == {"cora", "citeseer", "pubmed", "ppi", "reddit"}
+
+    def test_lookup_by_name_and_abbreviation(self):
+        assert dataset_spec("cora").abbreviation == "CR"
+        assert dataset_spec("CS").name == "Citeseer"
+        assert dataset_spec("Pubmed").num_vertices == 19717
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            dataset_spec("imagenet")
+
+    def test_table2_published_statistics(self):
+        """Registry entries must carry the exact Table II numbers."""
+        spec = dataset_spec("cora")
+        assert (spec.num_vertices, spec.num_edges, spec.feature_length, spec.num_labels) == (
+            2708,
+            10556,
+            1433,
+            7,
+        )
+        spec = dataset_spec("citeseer")
+        assert (spec.num_vertices, spec.num_edges, spec.feature_length, spec.num_labels) == (
+            3327,
+            9104,
+            3703,
+            6,
+        )
+        spec = dataset_spec("pubmed")
+        assert (spec.num_vertices, spec.num_edges, spec.feature_length, spec.num_labels) == (
+            19717,
+            88648,
+            500,
+            3,
+        )
+        assert dataset_spec("ppi").num_labels == 121
+        assert dataset_spec("reddit").num_vertices == 232_965
+
+    def test_feature_sparsity_values(self):
+        assert dataset_spec("cora").feature_sparsity == pytest.approx(0.9873)
+        assert dataset_spec("reddit").feature_sparsity == pytest.approx(0.484)
+
+    def test_average_degree(self):
+        assert dataset_spec("cora").average_degree == pytest.approx(2 * 10556 / 2708)
+
+    def test_scaled_spec(self):
+        scaled = dataset_spec("ppi").scaled(0.1)
+        assert scaled.is_scaled
+        assert scaled.num_vertices == pytest.approx(5694, rel=0.01)
+        with pytest.raises(ValueError):
+            dataset_spec("ppi").scaled(0.0)
+        with pytest.raises(ValueError):
+            dataset_spec("ppi").scaled(2.0)
+
+    def test_scaled_density_cap(self):
+        scaled = dataset_spec("reddit").scaled(0.02)
+        density = 2 * scaled.num_edges / (scaled.num_vertices**2)
+        assert density <= 0.11
+
+    def test_large_datasets_default_to_scaled(self):
+        assert dataset_spec("reddit").default_scale < 1.0
+        assert dataset_spec("ppi").default_scale < 1.0
+        assert dataset_spec("cora").default_scale == 1.0
+
+
+class TestBuildDataset:
+    @pytest.fixture(scope="class")
+    def cora(self):
+        return build_dataset("cora", seed=0)
+
+    def test_cora_matches_spec(self, cora):
+        spec = dataset_spec("cora")
+        assert cora.num_vertices == spec.num_vertices
+        assert cora.feature_length == spec.feature_length
+        assert cora.num_label_classes == spec.num_labels
+        undirected_edges = cora.num_edges / 2
+        assert undirected_edges == pytest.approx(spec.num_edges, rel=0.3)
+        assert cora.feature_sparsity() == pytest.approx(spec.feature_sparsity, abs=0.02)
+
+    def test_cora_degree_cap(self, cora):
+        assert cora.adjacency.max_degree() <= 2 * dataset_spec("cora").max_degree
+
+    def test_cora_labels_valid(self, cora):
+        assert cora.labels.min() >= 0
+        assert cora.labels.max() < 7
+
+    def test_label_homophily(self, cora):
+        """Neighbors agree on labels more often than random chance."""
+        edges = cora.adjacency.edge_array()
+        agreement = np.mean(cora.labels[edges[:, 0]] == cora.labels[edges[:, 1]])
+        assert agreement > 1.0 / 7 + 0.05
+
+    def test_scaled_build(self):
+        graph = build_dataset("pubmed", scale=0.1, seed=0)
+        assert graph.num_vertices == pytest.approx(1972, abs=5)
+        assert graph.name == "PB"
+
+    def test_ppi_is_multilabel(self):
+        graph = build_dataset("ppi", scale=0.02, seed=0)
+        assert graph.labels.ndim == 2
+        assert graph.labels.shape[1] == 121
+        assert np.all(graph.labels.sum(axis=1) >= 1)
+
+    def test_deterministic_given_seed(self):
+        first = build_dataset("cora", scale=0.1, seed=5)
+        second = build_dataset("cora", scale=0.1, seed=5)
+        np.testing.assert_array_equal(first.features, second.features)
+        np.testing.assert_array_equal(first.adjacency.indices, second.adjacency.indices)
+
+    def test_different_seeds_differ(self):
+        first = build_dataset("cora", scale=0.1, seed=5)
+        second = build_dataset("cora", scale=0.1, seed=6)
+        assert not np.array_equal(first.adjacency.indices, second.adjacency.indices)
+
+
+class TestTinyDataset:
+    def test_shapes(self):
+        graph = tiny_dataset(num_vertices=32, feature_length=16, num_labels=3)
+        assert graph.num_vertices == 32
+        assert graph.feature_length == 16
+        assert graph.num_label_classes == 3
+
+    def test_stats_row_keys(self):
+        row = tiny_dataset().stats().as_row()
+        assert {"dataset", "vertices", "edges", "feature_length", "labels"} <= set(row)
+
+    def test_memory_footprint(self):
+        graph = tiny_dataset()
+        assert graph.memory_footprint_bytes() > 0
+
+    def test_with_features_replaces(self):
+        graph = tiny_dataset(num_vertices=16, feature_length=8)
+        new_features = np.ones((16, 4))
+        replaced = graph.with_features(new_features)
+        assert replaced.feature_length == 4
+        assert replaced.adjacency is graph.adjacency
+
+    def test_feature_shape_mismatch_rejected(self):
+        graph = tiny_dataset(num_vertices=16, feature_length=8)
+        with pytest.raises(ValueError):
+            graph.with_features(np.ones((4, 8)))

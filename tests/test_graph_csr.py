@@ -1,0 +1,181 @@
+"""Unit and property tests for the CSR adjacency structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph
+
+
+# --------------------------------------------------------------------------- #
+# Construction
+# --------------------------------------------------------------------------- #
+class TestConstruction:
+    def test_from_edge_list_symmetric_stores_both_directions(self):
+        graph = CSRGraph.from_edge_list([(0, 1)], num_vertices=3, symmetric=True)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 0)
+        assert graph.num_edges == 2
+
+    def test_from_edge_list_directed(self):
+        graph = CSRGraph.from_edge_list([(0, 1)], num_vertices=3, symmetric=False)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_deduplication(self):
+        graph = CSRGraph.from_edge_list(
+            [(0, 1), (0, 1), (1, 0)], num_vertices=2, symmetric=True
+        )
+        assert graph.num_edges == 2
+
+    def test_empty_edge_list(self):
+        graph = CSRGraph.from_edge_list([], num_vertices=4)
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 0
+        assert graph.degrees().tolist() == [0, 0, 0, 0]
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edge_list([(0, 5)], num_vertices=3)
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.array([1, 2]), indices=np.array([0]))
+
+    def test_indptr_tail_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.array([0, 2]), indices=np.array([0]))
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.array([0, 2, 1]), indices=np.array([0, 1]))
+
+    def test_from_dense_matches_edges(self):
+        dense = np.array([[0, 1, 0], [1, 0, 1], [0, 1, 0]], dtype=float)
+        graph = CSRGraph.from_dense(dense)
+        np.testing.assert_array_equal(graph.to_dense(), dense)
+
+    def test_from_dense_requires_square(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_dense(np.zeros((2, 3)))
+
+    def test_from_scipy_roundtrip(self):
+        graph = CSRGraph.from_edge_list([(0, 1), (1, 2)], num_vertices=3, symmetric=True)
+        again = CSRGraph.from_scipy(graph.to_scipy())
+        np.testing.assert_array_equal(graph.indptr, again.indptr)
+        np.testing.assert_array_equal(graph.indices, again.indices)
+
+
+# --------------------------------------------------------------------------- #
+# Queries
+# --------------------------------------------------------------------------- #
+class TestQueries:
+    def test_degrees_line_graph(self, line_graph):
+        assert line_graph.degrees().tolist() == [1, 2, 2, 2, 2, 1]
+
+    def test_neighbors_are_sorted_and_readonly(self, line_graph):
+        neighbors = line_graph.neighbors(2)
+        assert neighbors.tolist() == [1, 3]
+        with pytest.raises(ValueError):
+            neighbors[0] = 7
+
+    def test_neighbor_out_of_range(self, line_graph):
+        with pytest.raises(IndexError):
+            line_graph.neighbors(17)
+
+    def test_star_graph_max_degree(self, star_graph):
+        assert star_graph.max_degree() == 7
+        assert star_graph.degree(0) == 7
+        assert star_graph.degree(3) == 1
+
+    def test_sparsity(self, star_graph):
+        expected = 1.0 - 14 / 64
+        assert star_graph.sparsity() == pytest.approx(expected)
+
+    def test_average_degree(self, line_graph):
+        assert line_graph.average_degree() == pytest.approx(10 / 6)
+
+    def test_edge_array_matches_iter_edges(self, line_graph):
+        from_array = {tuple(edge) for edge in line_graph.edge_array()}
+        from_iter = set(line_graph.iter_edges())
+        assert from_array == from_iter
+
+    def test_memory_footprint_positive(self, line_graph):
+        assert line_graph.memory_footprint_bytes() > 0
+
+
+# --------------------------------------------------------------------------- #
+# Subgraphs
+# --------------------------------------------------------------------------- #
+class TestSubgraphs:
+    def test_induced_edges_line(self, line_graph):
+        edges = line_graph.induced_edges([0, 1, 2])
+        pairs = {tuple(edge) for edge in edges}
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_induced_edges_empty_set(self, line_graph):
+        assert line_graph.induced_edges([]).shape == (0, 2)
+
+    def test_induced_edges_disconnected_subset(self, line_graph):
+        assert line_graph.induced_edges([0, 3]).shape == (0, 2)
+
+    def test_subgraph_relabels(self, line_graph):
+        sub = line_graph.subgraph([2, 3, 4])
+        assert sub.num_vertices == 3
+        assert sub.degrees().tolist() == [1, 2, 1]
+
+    def test_with_self_loops(self, line_graph):
+        looped = line_graph.with_self_loops()
+        assert all(looped.has_edge(v, v) for v in range(looped.num_vertices))
+        assert looped.num_edges == line_graph.num_edges + line_graph.num_vertices
+
+
+# --------------------------------------------------------------------------- #
+# Property-based tests
+# --------------------------------------------------------------------------- #
+@st.composite
+def random_edge_lists(draw):
+    num_vertices = draw(st.integers(min_value=2, max_value=30))
+    num_edges = draw(st.integers(min_value=0, max_value=80))
+    edges = [
+        (
+            draw(st.integers(min_value=0, max_value=num_vertices - 1)),
+            draw(st.integers(min_value=0, max_value=num_vertices - 1)),
+        )
+        for _ in range(num_edges)
+    ]
+    return num_vertices, edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_edge_lists())
+def test_symmetric_storage_has_symmetric_dense(data):
+    num_vertices, edges = data
+    graph = CSRGraph.from_edge_list(edges, num_vertices=num_vertices, symmetric=True)
+    dense = graph.to_dense()
+    np.testing.assert_array_equal(dense, dense.T)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_edge_lists())
+def test_indptr_consistent_with_degrees(data):
+    num_vertices, edges = data
+    graph = CSRGraph.from_edge_list(edges, num_vertices=num_vertices, symmetric=True)
+    assert graph.indptr[-1] == graph.num_edges
+    np.testing.assert_array_equal(np.diff(graph.indptr), graph.degrees())
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_edge_lists())
+def test_induced_edges_subset_of_all_edges(data):
+    num_vertices, edges = data
+    graph = CSRGraph.from_edge_list(edges, num_vertices=num_vertices, symmetric=True)
+    subset = list(range(0, num_vertices, 2))
+    induced = {tuple(edge) for edge in graph.induced_edges(subset)}
+    all_edges = {tuple(edge) for edge in graph.edge_array()}
+    assert induced <= all_edges
+    members = set(subset)
+    assert all(src in members and dst in members for src, dst in induced)

@@ -1,0 +1,132 @@
+"""Tests for the synthetic graph topology generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    community_graph,
+    erdos_renyi_graph,
+    power_law_degree_sequence,
+    power_law_graph,
+)
+
+
+class TestPowerLawDegreeSequence:
+    def test_mean_close_to_target(self):
+        degrees = power_law_degree_sequence(5000, 10.0, 2.3, seed=1)
+        assert degrees.mean() == pytest.approx(10.0, rel=0.25)
+
+    def test_respects_bounds(self):
+        degrees = power_law_degree_sequence(1000, 8.0, 2.1, min_degree=2, max_degree=50, seed=2)
+        assert degrees.min() >= 2
+        assert degrees.max() <= 50
+
+    def test_heavy_tail_present(self):
+        degrees = power_law_degree_sequence(5000, 6.0, 2.0, seed=3)
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(0, 5.0, 2.0)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, -1.0, 2.0)
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(10, 5.0, 0.9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num=st.integers(min_value=10, max_value=2000),
+        avg=st.floats(min_value=1.0, max_value=30.0),
+        exponent=st.floats(min_value=1.5, max_value=3.5),
+    )
+    def test_always_positive_integers(self, num, avg, exponent):
+        degrees = power_law_degree_sequence(num, avg, exponent, seed=0)
+        assert degrees.shape == (num,)
+        assert np.issubdtype(degrees.dtype, np.integer)
+        assert degrees.min() >= 1
+
+
+class TestPowerLawGraph:
+    def test_edge_count_near_target(self):
+        graph = power_law_graph(2000, 10000, seed=4)
+        undirected = graph.num_edges / 2
+        assert undirected == pytest.approx(10000, rel=0.35)
+
+    def test_no_isolated_vertices(self):
+        graph = power_law_graph(500, 800, seed=5)
+        assert graph.degrees().min() >= 1
+
+    def test_no_self_loops(self):
+        graph = power_law_graph(300, 900, seed=6)
+        edges = graph.edge_array()
+        assert np.all(edges[:, 0] != edges[:, 1])
+
+    def test_symmetric(self):
+        graph = power_law_graph(200, 600, seed=7)
+        dense = graph.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+
+    def test_deterministic_given_seed(self):
+        first = power_law_graph(300, 900, seed=8)
+        second = power_law_graph(300, 900, seed=8)
+        np.testing.assert_array_equal(first.indices, second.indices)
+
+    def test_different_seeds_differ(self):
+        first = power_law_graph(300, 900, seed=8)
+        second = power_law_graph(300, 900, seed=9)
+        assert not np.array_equal(first.indices, second.indices)
+
+    def test_max_degree_cap_respected(self):
+        graph = power_law_graph(2000, 12000, max_degree=40, seed=10)
+        # The Chung-Lu sampler targets the cap statistically; allow slack for
+        # Poisson fluctuation around the capped expectation.
+        assert graph.max_degree() <= 80
+
+    def test_power_law_skew(self):
+        graph = power_law_graph(3000, 15000, exponent=2.0, seed=11)
+        degrees = np.sort(graph.degrees())[::-1]
+        top_fraction = degrees[: len(degrees) // 10].sum() / degrees.sum()
+        # The top 10% of vertices should hold well over their proportional
+        # share of edges (power-law behaviour the cache policy relies on).
+        assert top_fraction > 0.25
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            power_law_graph(1, 10)
+        with pytest.raises(ValueError):
+            power_law_graph(10, 0)
+
+
+class TestCommunityGraph:
+    def test_basic_structure(self):
+        graph = community_graph(400, 4, intra_average_degree=10.0, seed=12)
+        assert graph.num_vertices == 400
+        assert graph.degrees().min() >= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            community_graph(100, 0)
+        with pytest.raises(ValueError):
+            community_graph(100, 4, inter_edge_fraction=1.5)
+
+    def test_deterministic(self):
+        first = community_graph(300, 3, seed=13)
+        second = community_graph(300, 3, seed=13)
+        np.testing.assert_array_equal(first.indices, second.indices)
+
+
+class TestErdosRenyi:
+    def test_edge_count(self):
+        graph = erdos_renyi_graph(500, 3000, seed=14)
+        assert graph.num_edges / 2 == pytest.approx(3000, rel=0.3)
+
+    def test_degrees_not_power_law(self):
+        graph = erdos_renyi_graph(2000, 12000, seed=15)
+        degrees = graph.degrees()
+        # Uniform random graphs have light-tailed degrees: the maximum stays
+        # within a small factor of the mean, unlike the power-law generators.
+        assert degrees.max() < 5 * degrees.mean()

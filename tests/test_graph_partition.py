@@ -1,0 +1,69 @@
+"""Tests for vertex-set partitioning and buffer sizing helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import sequential_vertex_sets, vertices_per_buffer
+
+
+class TestVerticesPerBuffer:
+    def test_basic_sizing(self):
+        # 1 KB buffer, 100-element vectors at 1 byte plus 8 bytes of metadata.
+        assert vertices_per_buffer(1024, 100) == 1024 // 108
+
+    def test_at_least_one_vertex(self):
+        assert vertices_per_buffer(16, 4096) == 1
+
+    def test_larger_values_use_more_space(self):
+        small = vertices_per_buffer(1 << 20, 128, bytes_per_value=1)
+        large = vertices_per_buffer(1 << 20, 128, bytes_per_value=4)
+        assert small > large
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            vertices_per_buffer(0, 128)
+        with pytest.raises(ValueError):
+            vertices_per_buffer(1024, 0)
+
+
+class TestSequentialVertexSets:
+    def test_covers_all_vertices_once(self):
+        sets = list(sequential_vertex_sets(10, 3))
+        seen = [vertex for vertex_set in sets for vertex in vertex_set.vertex_ids]
+        assert seen == list(range(10))
+        assert [s.size for s in sets] == [3, 3, 3, 1]
+
+    def test_exact_division(self):
+        sets = list(sequential_vertex_sets(9, 3))
+        assert len(sets) == 3
+        assert all(s.size == 3 for s in sets)
+
+    def test_empty_graph(self):
+        assert list(sequential_vertex_sets(0, 4)) == []
+
+    def test_indices_are_sequential(self):
+        sets = list(sequential_vertex_sets(7, 2))
+        assert [s.index for s in sets] == [0, 1, 2, 3]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(sequential_vertex_sets(-1, 3))
+        with pytest.raises(ValueError):
+            list(sequential_vertex_sets(5, 0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=0, max_value=500),
+    set_size=st.integers(min_value=1, max_value=64),
+)
+def test_partition_property(num_vertices, set_size):
+    sets = list(sequential_vertex_sets(num_vertices, set_size))
+    covered = [vertex for vertex_set in sets for vertex in vertex_set.vertex_ids]
+    assert covered == list(range(num_vertices))
+    assert all(vertex_set.size <= set_size for vertex_set in sets)
+    expected_sets = -(-num_vertices // set_size) if num_vertices else 0
+    assert len(sets) == expected_sets

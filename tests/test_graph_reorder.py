@@ -1,0 +1,112 @@
+"""Tests for degree-aware vertex reordering and binning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    CSRGraph,
+    apply_vertex_permutation,
+    degree_binning,
+    degree_ordering,
+    power_law_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def sample_graph():
+    return power_law_graph(300, 1200, seed=21)
+
+
+class TestDegreeOrdering:
+    def test_descending_degrees(self, sample_graph):
+        result = degree_ordering(sample_graph)
+        ordered_degrees = sample_graph.degrees()[result.permutation]
+        assert np.all(np.diff(ordered_degrees) <= 0)
+
+    def test_tie_break_by_vertex_id(self):
+        # A 4-cycle: every vertex has degree 2, so the order must be the ids.
+        graph = CSRGraph.from_edge_list(
+            [(0, 1), (1, 2), (2, 3), (3, 0)], num_vertices=4, symmetric=True
+        )
+        result = degree_ordering(graph)
+        assert result.permutation.tolist() == [0, 1, 2, 3]
+
+    def test_inverse_is_consistent(self, sample_graph):
+        result = degree_ordering(sample_graph)
+        np.testing.assert_array_equal(
+            result.permutation[result.inverse], np.arange(sample_graph.num_vertices)
+        )
+
+    def test_permutation_is_bijection(self, sample_graph):
+        result = degree_ordering(sample_graph)
+        assert sorted(result.permutation.tolist()) == list(range(sample_graph.num_vertices))
+
+
+class TestDegreeBinning:
+    def test_bins_are_monotone_in_degree(self, sample_graph):
+        result = degree_binning(sample_graph, num_bins=8)
+        degrees = sample_graph.degrees()[result.permutation]
+        # Binning is coarse: degrees need not be sorted, but the average
+        # degree of the first half must exceed that of the second half.
+        half = len(degrees) // 2
+        assert degrees[:half].mean() > degrees[half:].mean()
+
+    def test_linear_preprocessing_cost(self, sample_graph):
+        result = degree_binning(sample_graph, num_bins=8)
+        assert result.preprocessing_operations <= sample_graph.num_vertices + 16
+
+    def test_permutation_valid(self, sample_graph):
+        result = degree_binning(sample_graph, num_bins=4)
+        assert sorted(result.permutation.tolist()) == list(range(sample_graph.num_vertices))
+
+    def test_invalid_bins(self, sample_graph):
+        with pytest.raises(ValueError):
+            degree_binning(sample_graph, num_bins=0)
+
+
+class TestApplyPermutation:
+    def test_preserves_edge_count_and_degree_multiset(self, sample_graph):
+        result = degree_ordering(sample_graph)
+        relabeled = apply_vertex_permutation(sample_graph, result.permutation)
+        assert relabeled.num_edges == sample_graph.num_edges
+        assert sorted(relabeled.degrees().tolist()) == sorted(sample_graph.degrees().tolist())
+
+    def test_relabeled_graph_degree_descending(self, sample_graph):
+        result = degree_ordering(sample_graph)
+        relabeled = apply_vertex_permutation(sample_graph, result.permutation)
+        assert np.all(np.diff(relabeled.degrees()) <= 0)
+
+    def test_identity_permutation(self, sample_graph):
+        relabeled = apply_vertex_permutation(
+            sample_graph, np.arange(sample_graph.num_vertices)
+        )
+        np.testing.assert_array_equal(relabeled.indices, sample_graph.indices)
+
+    def test_rejects_wrong_length(self, sample_graph):
+        with pytest.raises(ValueError):
+            apply_vertex_permutation(sample_graph, np.arange(10))
+
+    def test_rejects_non_bijection(self, sample_graph):
+        bad = np.zeros(sample_graph.num_vertices, dtype=np.int64)
+        with pytest.raises(ValueError):
+            apply_vertex_permutation(sample_graph, bad)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_vertices=st.integers(min_value=2, max_value=60),
+    num_edges=st.integers(min_value=1, max_value=150),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_degree_ordering_property(num_vertices, num_edges, seed):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(num_vertices, size=(num_edges, 2))
+    graph = CSRGraph.from_edge_list(edges, num_vertices=num_vertices, symmetric=True)
+    result = degree_ordering(graph)
+    degrees = graph.degrees()[result.permutation]
+    assert np.all(np.diff(degrees) <= 0)
+    assert sorted(result.permutation.tolist()) == list(range(num_vertices))

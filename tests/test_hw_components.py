@@ -1,0 +1,176 @@
+"""Tests for the CPE, MPE, SFU and PE-array component models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    AcceleratorConfig,
+    ComputePE,
+    CPEConfig,
+    MergePE,
+    MPEConfig,
+    PEArray,
+    SFUConfig,
+    SpecialFunctionUnit,
+)
+
+
+class TestComputePE:
+    def test_weighting_cycles_ceiling(self):
+        cpe = ComputePE(CPEConfig(num_macs=4))
+        assert cpe.weighting_cycles(8) == 2
+        assert cpe.weighting_cycles(9) == 3
+        assert cpe.weighting_cycles(0) == 0
+
+    def test_zero_skipping_counts(self):
+        cpe = ComputePE(CPEConfig(num_macs=4))
+        cpe.weighting_cycles(3, zero_operands=13)
+        assert cpe.skipped_zero_operations == 13
+        assert cpe.mac_operations == 3
+
+    def test_aggregation_cycles(self):
+        cpe = ComputePE(CPEConfig(num_macs=6))
+        assert cpe.aggregation_cycles(12) == 2
+        assert cpe.aggregation_cycles(13) == 3
+
+    def test_busy_cycles_accumulate_and_reset(self):
+        cpe = ComputePE(CPEConfig(num_macs=4))
+        cpe.weighting_cycles(4)
+        cpe.aggregation_cycles(4)
+        assert cpe.busy_cycles == 2
+        cpe.reset()
+        assert cpe.busy_cycles == 0
+        assert cpe.mac_operations == 0
+
+    def test_utilization(self):
+        cpe = ComputePE(CPEConfig(num_macs=4))
+        cpe.weighting_cycles(8)
+        assert cpe.utilization(4) == pytest.approx(0.5)
+        assert cpe.utilization(0) == 0.0
+
+    def test_negative_operands_rejected(self):
+        cpe = ComputePE(CPEConfig(num_macs=4))
+        with pytest.raises(ValueError):
+            cpe.weighting_cycles(-1)
+        with pytest.raises(ValueError):
+            cpe.aggregation_cycles(-1)
+
+
+class TestMergePE:
+    def test_completion_after_all_blocks(self):
+        mpe = MergePE(MPEConfig(psum_slots=4))
+        mpe.accumulate(vertex_id=7, partial_blocks=3, total_blocks=4)
+        assert mpe.stats.completed_vertices == 0
+        mpe.accumulate(vertex_id=7, partial_blocks=1, total_blocks=4)
+        assert mpe.stats.completed_vertices == 1
+        assert mpe.live_vertices == 0
+
+    def test_psum_slot_pressure_causes_stalls(self):
+        mpe = MergePE(MPEConfig(psum_slots=2))
+        for vertex in range(5):
+            mpe.accumulate(vertex_id=vertex, partial_blocks=1, total_blocks=16)
+        assert mpe.stats.stall_cycles > 0
+        assert mpe.stats.peak_live_vertices <= 2
+
+    def test_no_stalls_with_enough_slots(self):
+        mpe = MergePE(MPEConfig(psum_slots=64))
+        for vertex in range(32):
+            mpe.accumulate(vertex_id=vertex, partial_blocks=1, total_blocks=2)
+        assert mpe.stats.stall_cycles == 0
+
+    def test_invalid_blocks(self):
+        mpe = MergePE(MPEConfig())
+        with pytest.raises(ValueError):
+            mpe.accumulate(0, -1, 4)
+        with pytest.raises(ValueError):
+            mpe.accumulate(0, 1, 0)
+
+    def test_reset(self):
+        mpe = MergePE(MPEConfig())
+        mpe.accumulate(0, 1, 4)
+        mpe.reset()
+        assert mpe.live_vertices == 0
+        assert mpe.stats.accumulations == 0
+
+
+class TestSpecialFunctionUnit:
+    def test_exp_lut_accuracy(self):
+        sfu = SpecialFunctionUnit()
+        assert sfu.exp_max_relative_error() < 0.01
+
+    def test_exp_matches_numpy_within_tolerance(self):
+        sfu = SpecialFunctionUnit()
+        values = np.linspace(-10, 5, 100)
+        np.testing.assert_allclose(sfu.exp(values), np.exp(values), rtol=0.01)
+
+    def test_exp_clamps_out_of_range(self):
+        sfu = SpecialFunctionUnit()
+        assert np.isfinite(sfu.exp(np.array([1e6])))[0]
+
+    def test_leaky_relu_and_relu(self):
+        sfu = SpecialFunctionUnit()
+        np.testing.assert_allclose(sfu.leaky_relu(np.array([-1.0, 2.0])), [-0.2, 2.0])
+        np.testing.assert_allclose(sfu.relu(np.array([-1.0, 2.0])), [0.0, 2.0])
+
+    def test_divide(self):
+        sfu = SpecialFunctionUnit()
+        np.testing.assert_allclose(sfu.divide(np.array([6.0]), np.array([2.0])), [3.0])
+
+    def test_invocation_counters(self):
+        sfu = SpecialFunctionUnit()
+        sfu.exp(np.zeros(5))
+        sfu.relu(np.zeros(3))
+        assert sfu.invocation_counts["exp"] == 5
+        assert sfu.invocation_counts["relu"] == 3
+
+    def test_cycles_for(self):
+        sfu = SpecialFunctionUnit(SFUConfig(exp_latency_cycles=2, divide_latency_cycles=4))
+        assert sfu.cycles_for("exp", 10) == 20
+        assert sfu.cycles_for("divide", 3) == 12
+        with pytest.raises(ValueError):
+            sfu.cycles_for("tanh", 1)
+        with pytest.raises(ValueError):
+            sfu.cycles_for("exp", -1)
+
+
+class TestPEArray:
+    def test_structure_matches_config(self):
+        array = PEArray(AcceleratorConfig())
+        assert array.num_rows == 16 and array.num_cols == 16
+        assert array.total_macs() == 1216
+        assert len(array.mpes) == 16
+        assert array.row_mac_counts().tolist() == [4] * 8 + [5] * 4 + [6] * 4
+
+    def test_row_weighting_cycles(self):
+        array = PEArray(AcceleratorConfig())
+        work = np.zeros(16, dtype=np.int64)
+        work[0] = 640  # row 0 has 4 MACs x 16 cols = 64 MACs per cycle
+        work[15] = 960  # row 15 has 6 x 16 = 96
+        cycles = array.row_weighting_cycles(work)
+        assert cycles[0] == 10
+        assert cycles[15] == 10
+        assert cycles[1] == 0
+
+    def test_row_weighting_requires_full_vector(self):
+        array = PEArray(AcceleratorConfig())
+        with pytest.raises(ValueError):
+            array.row_weighting_cycles(np.ones(4))
+
+    def test_array_aggregation_cycles(self):
+        array = PEArray(AcceleratorConfig())
+        assert array.array_aggregation_cycles(1216) == 1
+        assert array.array_aggregation_cycles(1217) == 2
+        assert array.array_aggregation_cycles(0) == 0
+        with pytest.raises(ValueError):
+            array.array_aggregation_cycles(-5)
+
+    def test_describe_rows(self):
+        array = PEArray(AcceleratorConfig())
+        rows = array.describe_rows(np.full(16, 128))
+        assert len(rows) == 16
+        assert rows[0].num_macs_per_cpe == 4
+        assert rows[-1].num_macs_per_cpe == 6
+        assert all(row.cycles >= 1 for row in rows)
+        assert rows[0].effective_throughput > 0

@@ -1,0 +1,91 @@
+"""Tests for the accelerator configuration and design presets."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.hw import DESIGN_PRESETS, AcceleratorConfig, design_preset
+
+
+class TestAcceleratorConfig:
+    def test_paper_flexible_mac_allocation(self):
+        config = AcceleratorConfig()
+        assert config.macs_per_row == (4,) * 8 + (5,) * 4 + (6,) * 4
+        # 16 columns x (8*4 + 4*5 + 4*6) = 1216 MACs (Section VIII-A).
+        assert config.total_macs == 1216
+
+    def test_peak_throughput_matches_table4(self):
+        config = AcceleratorConfig()
+        peak_tops = config.peak_ops_per_second / 1e12
+        assert peak_tops == pytest.approx(3.16, abs=0.05)
+
+    def test_row_group_of(self):
+        config = AcceleratorConfig()
+        groups = config.row_group_of
+        assert groups[0] == 0 and groups[8] == 1 and groups[15] == 2
+
+    def test_num_cpes(self):
+        assert AcceleratorConfig().num_cpes == 256
+
+    def test_dram_bytes_per_cycle(self):
+        config = AcceleratorConfig()
+        assert config.dram_bytes_per_cycle == pytest.approx(256e9 / 1.3e9)
+
+    def test_input_buffer_sizing_per_dataset(self):
+        config = AcceleratorConfig()
+        assert config.with_input_buffer_for("CR").input_buffer_bytes == 256 * 1024
+        assert config.with_input_buffer_for("cora").input_buffer_bytes == 256 * 1024
+        assert config.with_input_buffer_for("PB").input_buffer_bytes == 512 * 1024
+        assert config.with_input_buffer_for("RD").input_buffer_bytes == 512 * 1024
+
+    def test_without_optimizations(self):
+        baseline = AcceleratorConfig().without_optimizations()
+        assert baseline.total_macs == 1024
+        assert not baseline.enable_flexible_mac
+        assert not baseline.enable_degree_aware_caching
+
+    def test_validation_rows_per_group(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(macs_per_group=(4, 5), rows_per_group=(8, 4))
+
+    def test_validation_monotonic_macs(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(macs_per_group=(6, 5, 4), rows_per_group=(8, 4, 4))
+
+    def test_validation_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(num_rows=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(gamma=-1)
+
+    def test_replace_keeps_validation(self):
+        config = AcceleratorConfig()
+        smaller = replace(config, input_buffer_bytes=128 * 1024)
+        assert smaller.input_buffer_bytes == 128 * 1024
+        assert smaller.total_macs == config.total_macs
+
+
+class TestDesignPresets:
+    def test_all_five_designs(self):
+        assert set(DESIGN_PRESETS) == {"A", "B", "C", "D", "E"}
+
+    def test_mac_totals_match_section8e(self):
+        assert design_preset("A").total_macs == 1024
+        assert design_preset("B").total_macs == 1280
+        assert design_preset("C").total_macs == 1536
+        assert design_preset("D").total_macs == 1792
+        assert design_preset("E").total_macs == 1216
+
+    def test_uniform_designs_have_no_fm(self):
+        for name in "ABCD":
+            assert not design_preset(name).enable_flexible_mac
+        assert design_preset("E").enable_flexible_mac
+
+    def test_lookup_case_insensitive(self):
+        assert design_preset("e").name.startswith("Design E")
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError):
+            design_preset("Z")

@@ -1,0 +1,175 @@
+"""Tests for the on-chip buffer, DRAM and energy/area models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import (
+    AcceleratorConfig,
+    AreaModel,
+    DoubleBuffer,
+    EnergyBreakdown,
+    EnergyModel,
+    HBMModel,
+    OnChipBuffer,
+)
+
+
+class TestOnChipBuffer:
+    def test_allocate_within_capacity(self):
+        buffer = OnChipBuffer("input", capacity_bytes=1000)
+        spill = buffer.allocate(600)
+        assert spill == 0
+        assert buffer.occupancy_bytes == 600
+        assert buffer.free_bytes == 400
+
+    def test_allocate_overflow_spills(self):
+        buffer = OnChipBuffer("output", capacity_bytes=1000)
+        spill = buffer.allocate(1500)
+        assert spill == 500
+        assert buffer.occupancy_bytes == 1000
+        assert buffer.stats.spill_bytes == 500
+
+    def test_release(self):
+        buffer = OnChipBuffer("weight", capacity_bytes=100)
+        buffer.allocate(80)
+        buffer.release(30)
+        assert buffer.occupancy_bytes == 50
+        buffer.release(1000)
+        assert buffer.occupancy_bytes == 0
+
+    def test_access_counters(self):
+        buffer = OnChipBuffer("input", capacity_bytes=100)
+        buffer.read(10)
+        buffer.write(20)
+        assert buffer.stats.reads == 1
+        assert buffer.stats.bytes_written == 20
+
+    def test_peak_occupancy(self):
+        buffer = OnChipBuffer("input", capacity_bytes=100)
+        buffer.allocate(60)
+        buffer.release(50)
+        buffer.allocate(30)
+        assert buffer.stats.peak_occupancy_bytes == 60
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            OnChipBuffer("input", capacity_bytes=0)
+        buffer = OnChipBuffer("input", capacity_bytes=10)
+        with pytest.raises(ValueError):
+            buffer.allocate(-1)
+        with pytest.raises(ValueError):
+            buffer.read(-1)
+
+    def test_reset(self):
+        buffer = OnChipBuffer("input", capacity_bytes=100)
+        buffer.allocate(50)
+        buffer.reset()
+        assert buffer.occupancy_bytes == 0
+        assert buffer.stats.reads == 0
+
+
+class TestDoubleBuffer:
+    def test_overlap_hides_fetch(self):
+        double = DoubleBuffer("weight", capacity_bytes=1024)
+        assert double.overlap(compute_cycles=100, fetch_cycles=60) == 100
+        assert double.exposed_stall_cycles == 0
+        assert double.hidden_fetch_cycles == 60
+
+    def test_overlap_exposes_excess_fetch(self):
+        double = DoubleBuffer("input", capacity_bytes=1024)
+        assert double.overlap(compute_cycles=40, fetch_cycles=100) == 100
+        assert double.exposed_stall_cycles == 60
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DoubleBuffer("input", capacity_bytes=0)
+        with pytest.raises(ValueError):
+            DoubleBuffer("input", capacity_bytes=8).overlap(-1, 0)
+
+
+class TestHBMModel:
+    def test_sequential_transfer_cycles(self):
+        dram = HBMModel(bandwidth_bytes_per_s=256e9, frequency_hz=1.3e9)
+        bytes_per_cycle = 256e9 / 1.3e9
+        assert dram.sequential_transfer_cycles(int(bytes_per_cycle * 10)) == 10
+        assert dram.sequential_transfer_cycles(0) == 0
+
+    def test_random_slower_than_sequential_per_byte(self):
+        dram = HBMModel()
+        sequential = dram.sequential_transfer_cycles(64 * 1000)
+        dram.reset()
+        random = dram.random_transfer_cycles(1000, bytes_per_access=64)
+        assert random > sequential
+
+    def test_random_parallelism_amortizes_penalty(self):
+        slow = HBMModel(random_access_parallelism=1)
+        fast = HBMModel(random_access_parallelism=16)
+        assert slow.random_transfer_cycles(1000) > fast.random_transfer_cycles(1000)
+
+    def test_energy_per_bit(self):
+        dram = HBMModel(energy_pj_per_bit=3.97)
+        assert dram.transfer_energy_pj(1) == pytest.approx(8 * 3.97)
+
+    def test_stats_accumulate(self):
+        dram = HBMModel()
+        dram.sequential_transfer_cycles(1000)
+        dram.random_transfer_cycles(5)
+        assert dram.stats.sequential_bytes == 1000
+        assert dram.stats.random_accesses == 5
+        assert dram.stats.total_bytes > 1000
+        assert dram.total_energy_pj() > 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            HBMModel(bandwidth_bytes_per_s=0)
+        dram = HBMModel()
+        with pytest.raises(ValueError):
+            dram.sequential_transfer_cycles(-1)
+        with pytest.raises(ValueError):
+            dram.random_transfer_cycles(-1)
+
+
+class TestEnergyAndArea:
+    def test_breakdown_totals(self):
+        breakdown = EnergyBreakdown(mac_pj=10, dram_input_pj=5, dram_output_pj=15, static_pj=3)
+        assert breakdown.dram_pj == 20
+        assert breakdown.total_pj == 33
+        assert breakdown.total_joules == pytest.approx(33e-12)
+
+    def test_breakdown_addition(self):
+        first = EnergyBreakdown(mac_pj=1, input_buffer_pj=2)
+        second = EnergyBreakdown(mac_pj=3, dram_weight_pj=4)
+        combined = first + second
+        assert combined.mac_pj == 4
+        assert combined.input_buffer_pj == 2
+        assert combined.dram_weight_pj == 4
+
+    def test_breakdown_as_dict(self):
+        keys = EnergyBreakdown().as_dict()
+        assert "total_pj" in keys and "dram_output_pj" in keys
+
+    def test_energy_model_components(self):
+        model = EnergyModel()
+        assert model.mac_energy(100) == pytest.approx(100 * model.mac_energy_pj)
+        assert model.dram_energy(1) == pytest.approx(8 * model.dram_pj_per_bit)
+        assert model.buffer_energy("output", 10) > model.buffer_energy("weight", 10)
+        with pytest.raises(ValueError):
+            model.buffer_energy("cache", 10)
+
+    def test_static_energy_scales_with_time(self):
+        model = EnergyModel(static_power_watts=1.0)
+        one_second_pj = model.static_energy(int(1.3e9), 1.3e9)
+        assert one_second_pj == pytest.approx(1e12)
+
+    def test_chip_area_close_to_paper(self):
+        """The paper reports 15.6 mm^2 at 32 nm for the GNNIE configuration."""
+        area = AreaModel().chip_area_mm2(AcceleratorConfig())
+        assert area == pytest.approx(15.6, rel=0.15)
+
+    def test_area_grows_with_macs(self):
+        from repro.hw import design_preset
+
+        assert AreaModel().chip_area_mm2(design_preset("D")) > AreaModel().chip_area_mm2(
+            design_preset("A")
+        )

@@ -1,0 +1,147 @@
+"""Tests for the GAT attention mapping and the Aggregation cycle model."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import power_law_graph
+from repro.hw import AcceleratorConfig
+from repro.mapping import (
+    AggregationCycleModel,
+    attention_terms_functional,
+    naive_attention_operations,
+    schedule_attention,
+)
+from repro.models import segment_sum
+
+
+class TestAttentionSchedule:
+    def test_mac_count_is_linear(self):
+        config = AcceleratorConfig()
+        schedule = schedule_attention(1000, 128, config)
+        assert schedule.total_macs == 2 * 1000 * 128
+
+    def test_linear_vs_naive_operation_count(self):
+        """GNNIE's reordering is O(V+E); the naive scheme is O(E*F)."""
+        num_vertices, num_edges, feature = 1000, 20_000, 128
+        reordered = schedule_attention(num_vertices, feature, AcceleratorConfig()).total_macs
+        naive = naive_attention_operations(num_vertices, num_edges, feature)
+        assert naive > 5 * reordered
+
+    def test_cycles_scale_with_vertices(self):
+        config = AcceleratorConfig()
+        small = schedule_attention(100, 128, config)
+        large = schedule_attention(10_000, 128, config)
+        assert large.compute_cycles > 50 * small.compute_cycles
+
+    def test_chunk_and_column_batch(self):
+        config = AcceleratorConfig()
+        schedule = schedule_attention(500, 130, config)
+        assert schedule.chunk_size == -(-130 // config.num_cols)
+        assert schedule.vertices_per_column >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            schedule_attention(-1, 128, AcceleratorConfig())
+        with pytest.raises(ValueError):
+            schedule_attention(10, 0, AcceleratorConfig())
+        with pytest.raises(ValueError):
+            naive_attention_operations(-1, 2, 3)
+
+    def test_functional_blocked_terms_match_direct(self):
+        rng = np.random.default_rng(3)
+        weighted = rng.normal(size=(50, 70))
+        left = rng.normal(size=70)
+        right = rng.normal(size=70)
+        center, neighbor = attention_terms_functional(weighted, left, right, AcceleratorConfig())
+        np.testing.assert_allclose(center, weighted @ left, atol=1e-10)
+        np.testing.assert_allclose(neighbor, weighted @ right, atol=1e-10)
+
+    def test_functional_rejects_mismatched_vector(self):
+        with pytest.raises(ValueError):
+            attention_terms_functional(
+                np.ones((4, 8)), np.ones(5), np.ones(8), AcceleratorConfig()
+            )
+
+
+class TestAggregationCycleModel:
+    def test_load_balanced_uses_full_array(self):
+        config = AcceleratorConfig()
+        model = AggregationCycleModel(config, feature_length=128)
+        cost = model.iteration_cost(1000, max_edges_per_vertex=50, num_resident_vertices=500)
+        ideal = int(np.ceil(2 * 1000 * 128 / config.total_macs))
+        assert cost.compute_cycles == ideal
+
+    def test_no_load_balancing_pays_for_hub_vertices(self):
+        config = replace(AcceleratorConfig(), enable_aggregation_load_balancing=False)
+        model = AggregationCycleModel(config, feature_length=128)
+        balanced = AggregationCycleModel(AcceleratorConfig(), feature_length=128)
+        skewed = model.iteration_cost(1000, max_edges_per_vertex=400)
+        level = balanced.iteration_cost(1000, max_edges_per_vertex=400)
+        assert skewed.compute_cycles > level.compute_cycles
+
+    def test_no_lb_cost_grows_with_hub_degree(self):
+        config = replace(AcceleratorConfig(), enable_aggregation_load_balancing=False)
+        model = AggregationCycleModel(config, feature_length=64)
+        small_hub = model.iteration_cost(1000, max_edges_per_vertex=10)
+        large_hub = model.iteration_cost(1000, max_edges_per_vertex=500)
+        assert large_hub.compute_cycles > small_hub.compute_cycles
+
+    def test_gat_adds_multiplies_and_sfu_work(self):
+        plain = AggregationCycleModel(AcceleratorConfig(), 128, is_gat=False)
+        gat = AggregationCycleModel(AcceleratorConfig(), 128, is_gat=True)
+        plain_cost = plain.iteration_cost(500, num_resident_vertices=300)
+        gat_cost = gat.iteration_cost(500, num_resident_vertices=300)
+        assert gat_cost.multiply_ops > 0 and plain_cost.multiply_ops == 0
+        assert gat_cost.sfu_ops > 0 and plain_cost.sfu_ops == 0
+        assert gat_cost.compute_cycles > plain_cost.compute_cycles
+
+    def test_finalization_only_for_gat(self):
+        plain = AggregationCycleModel(AcceleratorConfig(), 128, is_gat=False)
+        gat = AggregationCycleModel(AcceleratorConfig(), 128, is_gat=True)
+        assert plain.finalization_cost(1000).sfu_cycles == 0
+        assert gat.finalization_cost(1000).sfu_cycles > 0
+
+    def test_zero_edges(self):
+        model = AggregationCycleModel(AcceleratorConfig(), 64)
+        cost = model.iteration_cost(0)
+        assert cost.compute_cycles == 0 and cost.addition_ops == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AggregationCycleModel(AcceleratorConfig(), 0)
+        model = AggregationCycleModel(AcceleratorConfig(), 16)
+        with pytest.raises(ValueError):
+            model.iteration_cost(-1)
+        with pytest.raises(ValueError):
+            model.finalization_cost(-1)
+
+    def test_aggregate_subgraph_matches_segment_sum(self):
+        graph = power_law_graph(40, 120, seed=61)
+        rng = np.random.default_rng(61)
+        weighted = rng.normal(size=(40, 8))
+        undirected = graph.edge_array()
+        undirected = undirected[undirected[:, 0] < undirected[:, 1]]
+        accumulator = np.zeros((40, 8))
+        AggregationCycleModel.aggregate_subgraph(weighted, undirected, accumulator)
+        directed = graph.edge_array()
+        expected = segment_sum(weighted[directed[:, 0]], directed[:, 1], 40)
+        np.testing.assert_allclose(accumulator, expected, atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        edges=st.integers(min_value=0, max_value=5000),
+        feature=st.integers(min_value=1, max_value=256),
+    )
+    def test_lb_cycles_formula_property(self, edges, feature):
+        config = AcceleratorConfig()
+        model = AggregationCycleModel(config, feature)
+        cost = model.iteration_cost(edges)
+        assert cost.addition_ops == 2 * edges * feature
+        if edges:
+            assert cost.compute_cycles >= cost.addition_ops // config.total_macs

@@ -1,0 +1,117 @@
+"""Tests for Flexible MAC workload binning and the baseline block assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import AcceleratorConfig, design_preset
+from repro.mapping import baseline_assignment, flexible_mac_assignment
+from repro.sparse import block_nonzero_counts, generate_sparse_features
+
+
+@pytest.fixture(scope="module")
+def skewed_blocks():
+    features = generate_sparse_features(600, 320, 0.95, seed=7, column_skew=1.1)
+    return block_nonzero_counts(features, block_size=20)  # 16 blocks
+
+
+class TestBaselineAssignment:
+    def test_conserves_nonzeros(self, skewed_blocks):
+        config = design_preset("A")
+        assignment = baseline_assignment(skewed_blocks, config)
+        assert assignment.total_nonzeros == skewed_blocks.sum()
+
+    def test_block_position_maps_to_row(self, skewed_blocks):
+        config = design_preset("A")
+        assignment = baseline_assignment(skewed_blocks, config)
+        np.testing.assert_array_equal(
+            assignment.row_nonzeros[: skewed_blocks.shape[1]], skewed_blocks.sum(axis=0)
+        )
+
+    def test_fewer_blocks_than_rows_leaves_idle_rows(self):
+        config = AcceleratorConfig()
+        blocks = np.ones((10, 5), dtype=np.int64)
+        assignment = baseline_assignment(blocks, config)
+        assert assignment.row_block_counts[5:].sum() == 0
+        assert assignment.row_cycles[5:].sum() == 0
+
+    def test_too_many_blocks_rejected(self):
+        config = AcceleratorConfig()
+        with pytest.raises(ValueError):
+            baseline_assignment(np.ones((4, 20), dtype=np.int64), config)
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            baseline_assignment(np.ones(5, dtype=np.int64), AcceleratorConfig())
+
+    def test_imbalance_metric(self, skewed_blocks):
+        assignment = baseline_assignment(skewed_blocks, design_preset("A"))
+        assert assignment.imbalance >= 1.0
+        assert assignment.max_cycles >= assignment.min_cycles
+
+
+class TestFlexibleMacAssignment:
+    def test_conserves_nonzeros(self, skewed_blocks):
+        config = AcceleratorConfig()
+        assignment = flexible_mac_assignment(skewed_blocks, config)
+        assert assignment.total_nonzeros == skewed_blocks.sum()
+
+    def test_reduces_pass_gating_cycles(self, skewed_blocks):
+        """FM on the flexible-MAC array must beat the uniform baseline array."""
+        baseline = baseline_assignment(skewed_blocks, design_preset("A"))
+        flexible = flexible_mac_assignment(skewed_blocks, AcceleratorConfig())
+        assert flexible.max_cycles < baseline.max_cycles
+
+    def test_reduces_imbalance(self, skewed_blocks):
+        baseline = baseline_assignment(skewed_blocks, design_preset("A"))
+        flexible = flexible_mac_assignment(skewed_blocks, AcceleratorConfig())
+        assert flexible.imbalance <= baseline.imbalance
+
+    def test_heavier_rows_have_more_macs(self, skewed_blocks):
+        """Bins are assigned in MAC order: the densest blocks go to the last
+        group, so average nonzeros per block must be non-decreasing across
+        groups."""
+        config = AcceleratorConfig()
+        assignment = flexible_mac_assignment(skewed_blocks, config)
+        per_block = assignment.row_nonzeros / np.maximum(assignment.row_block_counts, 1)
+        group_means = [per_block[:8].mean(), per_block[8:12].mean(), per_block[12:].mean()]
+        assert group_means[0] <= group_means[1] <= group_means[2]
+
+    def test_preprocessing_cost_linear(self, skewed_blocks):
+        assignment = flexible_mac_assignment(skewed_blocks, AcceleratorConfig())
+        assert assignment.preprocessing_operations == skewed_blocks.size
+
+    def test_uniform_blocks_stay_balanced(self):
+        """Degenerate case: identical blocks must not starve any row group."""
+        blocks = np.full((200, 16), 5, dtype=np.int64)
+        assignment = flexible_mac_assignment(blocks, AcceleratorConfig())
+        assert assignment.imbalance < 1.2
+        assert np.all(assignment.row_block_counts > 0)
+
+    def test_policy_labels(self, skewed_blocks):
+        assert baseline_assignment(skewed_blocks, design_preset("A")).policy == "baseline"
+        assert (
+            flexible_mac_assignment(skewed_blocks, AcceleratorConfig()).policy == "flexible_mac"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    vertices=st.integers(min_value=1, max_value=200),
+    blocks=st.integers(min_value=1, max_value=16),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_fm_work_conservation_property(vertices, blocks, density, seed):
+    """No nonzero may be lost or duplicated by the FM reordering."""
+    rng = np.random.default_rng(seed)
+    block_nonzeros = rng.binomial(20, density, size=(vertices, blocks)).astype(np.int64)
+    config = AcceleratorConfig()
+    fm = flexible_mac_assignment(block_nonzeros, config)
+    base = baseline_assignment(block_nonzeros, config)
+    assert fm.total_nonzeros == block_nonzeros.sum()
+    assert base.total_nonzeros == block_nonzeros.sum()
+    assert fm.row_block_counts.sum() == block_nonzeros.size

@@ -1,0 +1,63 @@
+"""Tests for the Weighting-first vs Aggregation-first dataflow analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping import compare_dataflow_orders, preferred_dataflow
+from repro.models import model_config
+
+
+class TestDataflowComparison:
+    @pytest.fixture(scope="class")
+    def cora_costs(self, small_cora):
+        dims = model_config("gcn").layer_dimensions(
+            small_cora.feature_length, small_cora.num_label_classes
+        )
+        return compare_dataflow_orders(small_cora, dims)
+
+    def test_one_entry_per_layer(self, cora_costs):
+        assert len(cora_costs) == 2
+        assert [cost.layer_index for cost in cora_costs] == [0, 1]
+
+    def test_weighting_first_wins_on_input_layer(self, cora_costs):
+        """With F_in = 1433 >> F_out = 128, Ã(HW) is far cheaper than (ÃH)W —
+        the Section III claim of ~an order of magnitude."""
+        first_layer = cora_costs[0]
+        assert first_layer.advantage > 3.0
+        assert first_layer.preferred_order == "weighting_first"
+
+    def test_sparse_weighting_cheaper_than_dense(self, cora_costs):
+        first_layer = cora_costs[0]
+        assert first_layer.weighting_macs < first_layer.dense_weighting_macs / 10
+
+    def test_aggregation_width_drives_difference(self, cora_costs):
+        first_layer = cora_costs[0]
+        ratio = (
+            first_layer.aggregation_ops_aggregation_first
+            / first_layer.aggregation_ops_weighting_first
+        )
+        assert ratio == pytest.approx(first_layer.in_features / first_layer.out_features)
+
+    def test_preferred_dataflow_overall(self, cora_costs):
+        assert preferred_dataflow(cora_costs) == "weighting_first"
+
+    def test_preferred_dataflow_rejects_empty(self):
+        with pytest.raises(ValueError):
+            preferred_dataflow([])
+
+    def test_expanding_layer_prefers_aggregation_first(self, tiny_graph):
+        """When the output is much wider than the input (expanding layer),
+        aggregating first is the cheaper order — the comparison must be able
+        to report that case too (EnGN's dimension-aware reordering)."""
+        costs = compare_dataflow_orders(tiny_graph, [(8, 512)])
+        assert costs[0].preferred_order == "aggregation_first"
+
+    def test_hidden_density_parameter(self, small_cora):
+        dims = [(small_cora.feature_length, 128), (128, 7)]
+        dense = compare_dataflow_orders(small_cora, dims, hidden_density=1.0)
+        sparse = compare_dataflow_orders(small_cora, dims, hidden_density=0.3)
+        # Layer 0 uses the actual input features; the density parameter only
+        # models the post-ReLU hidden layers.
+        assert sparse[0].weighting_macs == dense[0].weighting_macs
+        assert sparse[1].weighting_macs < dense[1].weighting_macs

@@ -1,0 +1,78 @@
+"""Tests for Load Redistribution between CPE rows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import redistribute_load
+
+
+class TestRedistributeLoad:
+    def test_reduces_maximum(self):
+        cycles = np.array([100, 120, 90, 80, 400, 110, 95, 85] * 2)
+        result = redistribute_load(cycles)
+        assert result.max_after < result.max_before
+
+    def test_reduces_imbalance(self):
+        cycles = np.array([50, 60, 55, 65, 300, 280, 70, 75] * 2)
+        result = redistribute_load(cycles)
+        assert result.imbalance_after <= result.imbalance_before
+
+    def test_balanced_input_unchanged(self):
+        cycles = np.full(16, 100)
+        result = redistribute_load(cycles)
+        np.testing.assert_array_equal(result.cycles_after, result.cycles_before)
+        assert result.moved_cycles == 0
+
+    def test_overhead_charged_on_moved_work(self):
+        cycles = np.array([1000, 10, 10, 10])
+        result = redistribute_load(cycles, num_pairs=1, transfer_overhead=0.1)
+        assert result.overhead_cycles > 0
+        # Total work only grows by the communication overhead.
+        assert result.cycles_after.sum() <= result.cycles_before.sum() + result.overhead_cycles + 4
+
+    def test_max_transfer_fraction_caps_move(self):
+        cycles = np.array([1000.0, 0.0])
+        result = redistribute_load(
+            cycles, num_pairs=1, transfer_overhead=0.0, max_transfer_fraction=0.1
+        )
+        assert result.cycles_after[0] >= 900
+
+    def test_pairs_reported(self):
+        cycles = np.array([500, 10, 490, 20, 30, 480, 40, 470] * 2)
+        result = redistribute_load(cycles, num_pairs=4)
+        assert len(result.pairs) <= 4
+        for heavy, light in result.pairs:
+            assert cycles[heavy] >= cycles[light]
+
+    def test_default_pair_count(self):
+        cycles = np.arange(16, dtype=float) * 10 + 10
+        result = redistribute_load(cycles)
+        assert len(result.pairs) <= 4  # one quarter of 16 rows
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            redistribute_load(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            redistribute_load(np.ones(4), transfer_overhead=1.5)
+        with pytest.raises(ValueError):
+            redistribute_load(np.ones(4), max_transfer_fraction=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=10_000), min_size=2, max_size=32),
+    st.floats(min_value=0.0, max_value=0.3),
+)
+def test_lr_properties(cycles, overhead):
+    cycles = np.asarray(cycles, dtype=float)
+    result = redistribute_load(cycles, transfer_overhead=overhead)
+    # The pass-gating maximum never increases.
+    assert result.max_after <= result.max_before
+    # Work is conserved up to the explicit communication overhead and
+    # integer rounding of the per-row cycle counts.
+    slack = result.overhead_cycles + cycles.size
+    assert result.cycles_after.sum() <= result.cycles_before.sum() + slack

@@ -1,0 +1,124 @@
+"""Tests for the Weighting schedule and its functional mirror."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import AcceleratorConfig
+from repro.mapping import schedule_weighting, weighting_functional
+from repro.sparse import generate_sparse_features
+
+
+@pytest.fixture(scope="module")
+def features():
+    return generate_sparse_features(300, 200, 0.93, seed=9, column_skew=1.0)
+
+
+class TestScheduleWeighting:
+    def test_block_size_and_pass_count(self, features):
+        config = AcceleratorConfig()
+        schedule = schedule_weighting(features, out_features=128, config=config)
+        assert schedule.block_size == -(-200 // 16)
+        assert schedule.num_passes == 8
+        assert schedule.num_blocks <= config.num_rows
+
+    def test_mac_counts(self, features):
+        schedule = schedule_weighting(features, 64, AcceleratorConfig())
+        assert schedule.total_nonzero_macs == np.count_nonzero(features) * 64
+        assert schedule.total_dense_macs >= features.size * 64
+
+    def test_compute_cycles_are_pass_times_max_row(self, features):
+        schedule = schedule_weighting(features, 128, AcceleratorConfig())
+        assert schedule.compute_cycles == schedule.num_passes * schedule.cycles_per_pass
+        assert schedule.cycles_per_pass == schedule.row_cycles_per_pass.max()
+
+    def test_flexible_mac_beats_disabled(self, features):
+        config = AcceleratorConfig()
+        baseline_cfg = replace(
+            config,
+            macs_per_group=(4,),
+            rows_per_group=(16,),
+            enable_flexible_mac=False,
+            enable_load_redistribution=False,
+        )
+        fm = schedule_weighting(features, 128, config)
+        base = schedule_weighting(features, 128, baseline_cfg)
+        assert fm.compute_cycles < base.compute_cycles
+
+    def test_zero_skipping_toggle(self, features):
+        config = AcceleratorConfig()
+        dense_cfg = replace(config, enable_zero_skipping=False)
+        sparse_schedule = schedule_weighting(features, 64, config)
+        dense_schedule = schedule_weighting(features, 64, dense_cfg)
+        assert dense_schedule.compute_cycles > sparse_schedule.compute_cycles
+
+    def test_load_redistribution_applied_when_enabled(self, features):
+        config = AcceleratorConfig()
+        schedule = schedule_weighting(features, 64, config)
+        assert schedule.load_redistribution is not None
+        no_lr = schedule_weighting(
+            features, 64, replace(config, enable_load_redistribution=False)
+        )
+        assert no_lr.load_redistribution is None
+        assert schedule.cycles_per_pass <= no_lr.cycles_per_pass
+
+    def test_statistical_block_nonzeros_path(self):
+        config = AcceleratorConfig()
+        blocks = np.full((100, 8), 6, dtype=np.int64)
+        schedule = schedule_weighting(
+            None, 32, config, block_nonzeros=blocks, in_features=64
+        )
+        assert schedule.total_nonzero_macs == blocks.sum() * 32
+        assert schedule.block_size == 4
+
+    def test_missing_inputs_rejected(self):
+        config = AcceleratorConfig()
+        with pytest.raises(ValueError):
+            schedule_weighting(None, 32, config)
+        with pytest.raises(ValueError):
+            schedule_weighting(None, 32, config, block_nonzeros=np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            schedule_weighting(np.ones((4, 4)), 0, config)
+
+    def test_average_row_utilization_bounded(self, features):
+        schedule = schedule_weighting(features, 64, AcceleratorConfig())
+        assert 0.0 < schedule.average_row_utilization <= 1.0
+
+
+class TestWeightingFunctional:
+    def test_matches_dense_matmul(self, features):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(features.shape[1], 48))
+        config = AcceleratorConfig()
+        np.testing.assert_allclose(
+            weighting_functional(features, weight, config), features @ weight, atol=1e-9
+        )
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighting_functional(np.ones((4, 5)), np.ones((6, 2)), AcceleratorConfig())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        vertices=st.integers(min_value=1, max_value=40),
+        in_features=st.integers(min_value=1, max_value=64),
+        out_features=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_blocked_equals_dense_property(self, vertices, in_features, out_features, seed):
+        """The blocked weight-stationary mapping touches every nonzero exactly
+        once: its result equals the dense GEMM for any shape."""
+        rng = np.random.default_rng(seed)
+        features = np.where(
+            rng.random((vertices, in_features)) < 0.3, rng.normal(size=(vertices, in_features)), 0.0
+        )
+        weight = rng.normal(size=(in_features, out_features))
+        config = AcceleratorConfig()
+        np.testing.assert_allclose(
+            weighting_functional(features, weight, config), features @ weight, atol=1e-8
+        )

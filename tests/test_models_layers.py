@@ -1,0 +1,162 @@
+"""Tests for the shared numerical building blocks (activations, segment ops, MLP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    MLP,
+    glorot_init,
+    leaky_relu,
+    relu,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    sigmoid,
+    softmax,
+)
+
+
+class TestActivations:
+    def test_relu(self):
+        np.testing.assert_array_equal(relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0])
+
+    def test_leaky_relu_slope(self):
+        np.testing.assert_allclose(
+            leaky_relu(np.array([-10.0, 5.0]), negative_slope=0.2), [-2.0, 5.0]
+        )
+
+    def test_sigmoid_range_and_symmetry(self):
+        values = np.array([-50.0, -1.0, 0.0, 1.0, 50.0])
+        out = sigmoid(values)
+        assert np.all((out >= 0) & (out <= 1))
+        assert out[2] == pytest.approx(0.5)
+        np.testing.assert_allclose(out + sigmoid(-values), 1.0, atol=1e-12)
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = sigmoid(np.array([-1e4, 1e4]))
+        assert np.isfinite(out).all()
+
+    def test_softmax_rows_sum_to_one(self):
+        values = np.random.default_rng(0).normal(size=(5, 7))
+        out = softmax(values)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_softmax_invariant_to_shift(self):
+        values = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(values), softmax(values + 100.0))
+
+    def test_softmax_large_values_stable(self):
+        out = softmax(np.array([[1e4, 1e4 - 1.0]]))
+        assert np.isfinite(out).all()
+
+
+class TestSegmentOps:
+    def test_segment_sum_manual(self):
+        values = np.array([[1.0], [2.0], [3.0]])
+        ids = np.array([0, 0, 2])
+        np.testing.assert_array_equal(segment_sum(values, ids, 3), [[3.0], [0.0], [3.0]])
+
+    def test_segment_max_empty_segment_is_zero(self):
+        values = np.array([[1.0], [5.0]])
+        ids = np.array([0, 0])
+        np.testing.assert_array_equal(segment_max(values, ids, 2), [[5.0], [0.0]])
+
+    def test_segment_mean(self):
+        values = np.array([[2.0], [4.0], [6.0]])
+        ids = np.array([1, 1, 0])
+        np.testing.assert_array_equal(segment_mean(values, ids, 2), [[6.0], [3.0]])
+
+    def test_segment_softmax_sums_to_one_per_segment(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=50)
+        ids = rng.integers(5, size=50)
+        out = segment_softmax(scores, ids, 5)
+        sums = segment_sum(out, ids, 5)
+        occupied = np.unique(ids)
+        np.testing.assert_allclose(sums[occupied], 1.0)
+
+    def test_segment_softmax_single_element_segments(self):
+        out = segment_softmax(np.array([3.0, -1.0]), np.array([0, 1]), 2)
+        np.testing.assert_allclose(out, [1.0, 1.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=100),
+        segments=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_segment_sum_matches_loop(self, size, segments, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(size, 3))
+        ids = rng.integers(segments, size=size)
+        fast = segment_sum(values, ids, segments)
+        slow = np.zeros((segments, 3))
+        for row, segment in zip(values, ids):
+            slow[segment] += row
+        np.testing.assert_allclose(fast, slow, atol=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=100),
+        segments=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_segment_softmax_property(self, size, segments, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=size) * 10
+        ids = rng.integers(segments, size=size)
+        out = segment_softmax(scores, ids, segments)
+        assert np.all(out > 0)
+        sums = segment_sum(out, ids, segments)
+        for segment in np.unique(ids):
+            assert sums[segment] == pytest.approx(1.0)
+
+
+class TestGlorotAndMLP:
+    def test_glorot_bounds(self):
+        weights = glorot_init(64, 32, seed=0)
+        limit = np.sqrt(6.0 / (64 + 32))
+        assert np.all(np.abs(weights) <= limit)
+        assert weights.shape == (64, 32)
+
+    def test_glorot_deterministic(self):
+        np.testing.assert_array_equal(glorot_init(8, 8, seed=3), glorot_init(8, 8, seed=3))
+
+    def test_mlp_forward_shape(self):
+        mlp = MLP.create([16, 32, 4], seed=0)
+        out = mlp.forward(np.random.default_rng(0).normal(size=(10, 16)))
+        assert out.shape == (10, 4)
+
+    def test_mlp_hidden_relu_applied(self):
+        mlp = MLP.create([4, 4, 4], seed=1)
+        # Force strongly negative hidden pre-activations; outputs must not
+        # explode negatively because the hidden ReLU clamps them.
+        mlp.weights[0] = -np.eye(4) * 100.0
+        out = mlp.forward(np.ones((1, 4)))
+        np.testing.assert_allclose(out[0], mlp.biases[1])
+
+    def test_mlp_output_activations(self):
+        inputs = np.random.default_rng(2).normal(size=(6, 8))
+        assert np.all(MLP.create([8, 8, 3], output_activation="relu").forward(inputs) >= 0)
+        sig = MLP.create([8, 8, 3], output_activation="sigmoid").forward(inputs)
+        assert np.all((sig >= 0) & (sig <= 1))
+        soft = MLP.create([8, 8, 3], output_activation="softmax").forward(inputs)
+        np.testing.assert_allclose(soft.sum(axis=1), 1.0)
+
+    def test_mlp_unknown_activation(self):
+        mlp = MLP.create([4, 2], output_activation="tanh")
+        with pytest.raises(ValueError):
+            mlp.forward(np.ones((1, 4)))
+
+    def test_mlp_parameter_count(self):
+        mlp = MLP.create([10, 20, 5])
+        assert mlp.num_parameters == 10 * 20 + 20 + 20 * 5 + 5
+
+    def test_mlp_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP.create([7])

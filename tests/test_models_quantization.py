@@ -1,0 +1,99 @@
+"""Tests for the fixed-point quantization utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    build_model,
+    dequantize_tensor,
+    quantization_error,
+    quantize_tensor,
+    quantized_model_agreement,
+)
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_error_bounded_by_scale(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(50, 20))
+        tensor = quantize_tensor(values, bits=8)
+        reconstructed = dequantize_tensor(tensor)
+        assert np.max(np.abs(values - reconstructed)) <= tensor.scale / 2 + 1e-12
+
+    def test_preserves_zeros(self):
+        values = np.array([0.0, 1.0, -1.0, 0.0])
+        reconstructed = dequantize_tensor(quantize_tensor(values))
+        assert reconstructed[0] == 0.0 and reconstructed[3] == 0.0
+
+    def test_int8_storage(self):
+        tensor = quantize_tensor(np.random.default_rng(1).normal(size=100), bits=8)
+        assert tensor.values.dtype == np.int8
+        assert tensor.memory_bytes() == 100
+
+    def test_int16_storage_for_wider_widths(self):
+        tensor = quantize_tensor(np.ones(10), bits=12)
+        assert tensor.values.dtype == np.int16
+        assert tensor.memory_bytes() == 20
+
+    def test_all_zero_input(self):
+        tensor = quantize_tensor(np.zeros(16))
+        np.testing.assert_array_equal(dequantize_tensor(tensor), np.zeros(16))
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(4), bits=1)
+        with pytest.raises(ValueError):
+            quantize_tensor(np.ones(4), bits=32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bits=st.integers(min_value=4, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+        scale=st.floats(min_value=0.01, max_value=1000.0),
+    )
+    def test_error_shrinks_with_precision(self, bits, seed, scale):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=200) * scale
+        coarse = quantization_error(values, bits=bits)
+        fine = quantization_error(values, bits=min(16, bits + 4))
+        assert fine["relative_l2_error"] <= coarse["relative_l2_error"] + 1e-12
+
+
+class TestQuantizationError:
+    def test_eight_bit_error_small(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=(100, 30))
+        error = quantization_error(values, bits=8)
+        assert error["relative_l2_error"] < 0.01
+
+    def test_keys_present(self):
+        error = quantization_error(np.ones(5))
+        assert {"max_abs_error", "relative_l2_error", "mean_abs_error"} <= set(error)
+
+
+class TestModelAgreement:
+    def test_eight_bit_inference_matches_fp_predictions(self, tiny_graph):
+        """The paper's 1-byte datapath: argmax predictions should survive
+        8-bit quantization of weights and inputs on almost every vertex."""
+        model = build_model("gcn", tiny_graph.feature_length, tiny_graph.num_label_classes, seed=0)
+        report = quantized_model_agreement(model, tiny_graph, bits=8)
+        assert report["argmax_agreement"] > 0.9
+        assert report["relative_output_error"] < 0.1
+
+    def test_low_precision_degrades(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.feature_length, tiny_graph.num_label_classes, seed=0)
+        fine = quantized_model_agreement(model, tiny_graph, bits=8)
+        coarse = quantized_model_agreement(model, tiny_graph, bits=3)
+        assert coarse["relative_output_error"] >= fine["relative_output_error"]
+
+    def test_weights_restored_after_agreement_check(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.feature_length, tiny_graph.num_label_classes, seed=0)
+        before = [m.copy() for layer in model.layers for m in layer.weight_matrices()]
+        quantized_model_agreement(model, tiny_graph, bits=4)
+        after = [m for layer in model.layers for m in layer.weight_matrices()]
+        for original, restored in zip(before, after):
+            np.testing.assert_array_equal(original, restored)

@@ -1,0 +1,87 @@
+"""Tests for the Fig. 1 accuracy-study training utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_dataset
+from repro.models import accuracy_study, micro_f1
+from repro.models.training import encode_features, train_linear_probe
+
+
+class TestMicroF1:
+    def test_perfect_predictions(self):
+        labels = np.array([[1, 0], [0, 1]])
+        assert micro_f1(labels, labels) == 1.0
+
+    def test_all_wrong(self):
+        predictions = np.array([[1, 0], [0, 1]])
+        labels = np.array([[0, 1], [1, 0]])
+        assert micro_f1(predictions, labels) == 0.0
+
+    def test_partial(self):
+        predictions = np.array([[1, 1], [0, 0]])
+        labels = np.array([[1, 0], [0, 0]])
+        # tp=1, fp=1, fn=0 -> f1 = 2/(2+1) = 2/3.
+        assert micro_f1(predictions, labels) == pytest.approx(2 / 3)
+
+    def test_empty_labels(self):
+        assert micro_f1(np.zeros((3, 2)), np.zeros((3, 2))) == 0.0
+
+
+class TestLinearProbe:
+    def test_learns_separable_problem(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(200, 10))
+        true_weights = rng.normal(size=(10, 3))
+        labels = (features @ true_weights > 0).astype(float)
+        weights = train_linear_probe(features, labels, epochs=300, seed=0)
+        design = np.concatenate(
+            [
+                (features - features.mean(axis=0)) / (features.std(axis=0) + 1e-8),
+                np.ones((200, 1)),
+            ],
+            axis=1,
+        )
+        predictions = design @ weights > 0
+        assert micro_f1(predictions, labels) > 0.85
+
+    def test_rejects_single_label_vector(self):
+        with pytest.raises(ValueError):
+            train_linear_probe(np.ones((10, 4)), np.ones(10))
+
+
+class TestAccuracyStudy:
+    @pytest.fixture(scope="class")
+    def ppi_like(self):
+        return build_dataset("ppi", scale=0.01, seed=2)
+
+    def test_returns_all_five_variants(self, ppi_like):
+        results = accuracy_study(ppi_like, epochs=60, hidden=24, seed=0)
+        names = {result.model for result in results}
+        assert names == {
+            "GCN",
+            "GraphSAGE-mean",
+            "GraphSAGE-LSTM",
+            "GraphSAGE-pool",
+            "GAT",
+        }
+        assert all(0.0 <= result.micro_f1 <= 1.0 for result in results)
+
+    def test_relative_compute_ordering(self, ppi_like):
+        results = {r.model: r for r in accuracy_study(ppi_like, epochs=40, hidden=16, seed=0)}
+        assert results["GAT"].relative_compute > results["GCN"].relative_compute
+
+    def test_encode_features_shapes(self, ppi_like):
+        encoded = encode_features(ppi_like, "gcn", hidden=16, seed=0)
+        assert encoded.shape == (ppi_like.num_vertices, 32)
+
+    def test_requires_multilabel(self):
+        single = build_dataset("cora", scale=0.05, seed=0)
+        with pytest.raises(ValueError):
+            accuracy_study(single)
+
+    def test_unknown_variant(self, ppi_like):
+        with pytest.raises(ValueError):
+            encode_features(ppi_like, "resnet")

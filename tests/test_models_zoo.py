@@ -1,0 +1,76 @@
+"""Tests for the Table III model configurations and the model factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import power_law_graph
+from repro.models import (
+    MODEL_FAMILIES,
+    DiffPoolModel,
+    GNNModel,
+    build_model,
+    model_config,
+)
+
+
+class TestModelConfig:
+    def test_all_five_families_registered(self):
+        assert set(MODEL_FAMILIES) == {"gcn", "gat", "graphsage", "ginconv", "diffpool"}
+        for family in MODEL_FAMILIES:
+            assert model_config(family).family == family
+
+    def test_table3_settings(self):
+        assert model_config("graphsage").aggregator == "max"
+        assert model_config("graphsage").sample_size == 25
+        assert model_config("ginconv").mlp_hidden == 128
+        assert all(model_config(f).hidden_features == 128 for f in MODEL_FAMILIES)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            model_config("transformer")
+
+    def test_layer_dimensions_chain(self):
+        dims = model_config("gcn").layer_dimensions(1433, 7)
+        assert dims == [(1433, 128), (128, 7)]
+
+    def test_layer_dimensions_three_layers(self):
+        from repro.models import ModelConfig
+
+        cfg = ModelConfig(family="gcn", num_layers=3, hidden_features=64)
+        assert cfg.layer_dimensions(100, 5) == [(100, 64), (64, 64), (64, 5)]
+
+
+class TestBuildModel:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return power_law_graph(30, 90, seed=51)
+
+    @pytest.mark.parametrize("family", ["gcn", "gat", "graphsage", "ginconv"])
+    def test_message_passing_families(self, family, graph):
+        model = build_model(family, in_features=10, out_features=4, seed=0)
+        assert isinstance(model, GNNModel)
+        out = model.forward(graph, np.random.default_rng(0).normal(size=(30, 10)))
+        assert out.shape == (30, 4)
+
+    def test_diffpool_returns_pooling_model(self):
+        model = build_model("diffpool", in_features=10, out_features=4, seed=0)
+        assert isinstance(model, DiffPoolModel)
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            build_model("mlpmixer", 10, 4)
+
+    def test_last_layer_has_no_relu(self, graph):
+        model = build_model("gcn", in_features=10, out_features=4, seed=0)
+        out = model.forward(graph, np.random.default_rng(1).normal(size=(30, 10)))
+        # With a linear output layer some entries should be negative.
+        assert np.any(out < 0)
+
+    def test_seed_controls_weights(self):
+        first = build_model("gcn", 10, 4, seed=1)
+        second = build_model("gcn", 10, 4, seed=1)
+        third = build_model("gcn", 10, 4, seed=2)
+        np.testing.assert_array_equal(first.layers[0].weight, second.layers[0].weight)
+        assert not np.array_equal(first.layers[0].weight, third.layers[0].weight)

@@ -1,0 +1,102 @@
+"""Tests for the design-space exploration utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import AcceleratorConfig, design_preset
+from repro.sim import (
+    pareto_front,
+    sweep_buffer_sizes,
+    sweep_designs,
+    sweep_mac_allocations,
+)
+
+
+class TestSweepDesigns:
+    @pytest.fixture(scope="class")
+    def points(self, tiny_graph):
+        configs = [design_preset(name) for name in ("A", "D", "E")]
+        return sweep_designs(tiny_graph, "gcn", configs)
+
+    def test_one_point_per_config(self, points):
+        assert [point.name for point in points] == ["Design A", "Design D", "Design E (GNNIE)"]
+
+    def test_fields_populated(self, points):
+        for point in points:
+            assert point.cycles > 0
+            assert point.latency_seconds > 0
+            assert point.area_mm2 > 0
+            assert point.energy_joules > 0
+
+    def test_more_macs_never_slower(self, points):
+        design_a = next(p for p in points if p.name == "Design A")
+        design_d = next(p for p in points if p.name == "Design D")
+        assert design_d.cycles <= design_a.cycles
+        assert design_d.area_mm2 > design_a.area_mm2
+
+    def test_beta_versus_baseline(self, points):
+        design_a = next(p for p in points if p.name == "Design A")
+        design_e = next(p for p in points if p.name.startswith("Design E"))
+        beta = design_e.beta_versus(design_a)
+        assert beta >= 0
+        # β against itself is undefined (no added MACs).
+        import math
+
+        assert math.isnan(design_a.beta_versus(design_a))
+
+
+class TestMacAllocationSweep:
+    def test_respects_budget_and_monotonicity(self):
+        configs = sweep_mac_allocations(mac_budget=1216, candidate_macs=(3, 4, 5, 6))
+        assert configs  # at least one admissible allocation
+        for config in configs:
+            assert config.total_macs <= 1216
+            assert list(config.macs_per_group) == sorted(config.macs_per_group)
+
+    def test_paper_allocation_present_at_budget(self):
+        configs = sweep_mac_allocations(mac_budget=1216, candidate_macs=(4, 5, 6))
+        allocations = {config.macs_per_group for config in configs}
+        assert (4, 5, 6) in allocations
+
+    def test_budget_excludes_expensive_allocations(self):
+        configs = sweep_mac_allocations(mac_budget=1024, candidate_macs=(4, 5, 6))
+        assert all(config.total_macs <= 1024 for config in configs)
+        assert all((6, 6, 6) != config.macs_per_group for config in configs)
+
+
+class TestBufferSweepAndPareto:
+    def test_buffer_sweep_shapes(self, tiny_graph):
+        points = sweep_buffer_sizes(
+            tiny_graph,
+            "gcn",
+            input_buffer_kib=(128, 512),
+            output_buffer_kib=(1024,),
+        )
+        assert len(points) == 2
+        assert {point.config.input_buffer_bytes for point in points} == {128 * 1024, 512 * 1024}
+
+    def test_pareto_front_filters_dominated(self, tiny_graph):
+        configs = [design_preset(name) for name in ("A", "B", "C", "D", "E")]
+        points = sweep_designs(tiny_graph, "gcn", configs)
+        front = pareto_front(points)
+        assert front
+        assert len(front) <= len(points)
+        # No point on the front is dominated by another front point.
+        for candidate in front:
+            assert not any(
+                other is not candidate
+                and other.latency_seconds <= candidate.latency_seconds
+                and other.area_mm2 <= candidate.area_mm2
+                and (
+                    other.latency_seconds < candidate.latency_seconds
+                    or other.area_mm2 < candidate.area_mm2
+                )
+                for other in front
+            )
+
+    def test_front_sorted_by_latency(self, tiny_graph):
+        configs = [design_preset(name) for name in ("A", "D", "E")]
+        front = pareto_front(sweep_designs(tiny_graph, "gcn", configs))
+        latencies = [point.latency_seconds for point in front]
+        assert latencies == sorted(latencies)

@@ -1,0 +1,103 @@
+"""Tests for the run-length compression codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import RLC_RUN_BITS, rlc_compressed_bits, rlc_decode, rlc_encode
+
+
+class TestRoundTrip:
+    def test_simple_vector(self):
+        vector = np.array([0, 0, 3.5, 0, 0, 0, 1.25, 0])
+        np.testing.assert_array_equal(rlc_decode(rlc_encode(vector)), vector)
+
+    def test_all_zeros(self):
+        vector = np.zeros(100)
+        np.testing.assert_array_equal(rlc_decode(rlc_encode(vector)), vector)
+
+    def test_all_nonzero(self):
+        vector = np.arange(1, 33, dtype=float)
+        np.testing.assert_array_equal(rlc_decode(rlc_encode(vector)), vector)
+
+    def test_empty_vector(self):
+        vector = np.array([])
+        decoded = rlc_decode(rlc_encode(vector))
+        assert decoded.size == 0
+
+    def test_long_zero_run_exceeding_field(self):
+        max_run = (1 << RLC_RUN_BITS) - 1
+        vector = np.zeros(3 * max_run + 10)
+        vector[-1] = 7.0
+        np.testing.assert_array_equal(rlc_decode(rlc_encode(vector)), vector)
+
+    def test_leading_and_trailing_zeros(self):
+        vector = np.array([0.0, 0.0, 0.0, 2.0, 0.0, 0.0])
+        np.testing.assert_array_equal(rlc_decode(rlc_encode(vector)), vector)
+
+
+class TestCompressionModel:
+    def test_sparse_vector_compresses(self):
+        vector = np.zeros(1000)
+        vector[::100] = 1.0
+        encoding = rlc_encode(vector)
+        assert encoding.compression_ratio() > 3.0
+
+    def test_dense_vector_expands(self):
+        vector = np.ones(64)
+        encoding = rlc_encode(vector)
+        assert encoding.compression_ratio() < 1.0  # run field overhead
+
+    def test_symbol_count(self):
+        vector = np.array([0, 1.0, 0, 0, 2.0])
+        encoding = rlc_encode(vector)
+        # One symbol per nonzero plus one terminator for trailing zeros when
+        # the vector ends in a zero run (here it ends on a value, so 2).
+        assert encoding.num_symbols == 2
+
+    def test_compressed_bits_matches_exact_encoding(self):
+        rng = np.random.default_rng(0)
+        matrix = np.where(rng.random((20, 200)) < 0.05, rng.random((20, 200)), 0.0)
+        model_bits = rlc_compressed_bits(matrix)
+        exact_bits = sum(rlc_encode(row).compressed_bits for row in matrix)
+        assert model_bits == pytest.approx(exact_bits, rel=0.2)
+
+    def test_compressed_bits_monotone_in_density(self):
+        rng = np.random.default_rng(1)
+        sparse = np.where(rng.random((10, 500)) < 0.02, 1.0, 0.0)
+        dense = np.where(rng.random((10, 500)) < 0.4, 1.0, 0.0)
+        assert rlc_compressed_bits(sparse) < rlc_compressed_bits(dense)
+
+    def test_one_dimensional_input(self):
+        assert rlc_compressed_bits(np.zeros(100)) > 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.one_of(st.just(0.0), st.floats(min_value=0.01, max_value=100.0)),
+        min_size=0,
+        max_size=300,
+    )
+)
+def test_roundtrip_property(values):
+    vector = np.asarray(values)
+    np.testing.assert_allclose(rlc_decode(rlc_encode(vector)), vector)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=500),
+    density=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=999),
+)
+def test_compressed_size_accounts_all_nonzeros(length, density, seed):
+    rng = np.random.default_rng(seed)
+    vector = np.where(rng.random(length) < density, rng.random(length) + 0.1, 0.0)
+    encoding = rlc_encode(vector)
+    stored_nonzeros = np.count_nonzero(encoding.values)
+    assert stored_nonzeros == np.count_nonzero(vector)
+    assert encoding.compressed_bits >= 32  # header always present
