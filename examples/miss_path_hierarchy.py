@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Miss-path hierarchy study: victim cache, miss cache and stream buffers.
+
+GNNIE's degree-aware policy eliminates random DRAM traffic entirely; the
+classic policies (and the vertex-id-order ablation baseline) do not.  This
+example quantifies how much of that *remaining* random traffic three cheap
+miss-path structures recover when placed behind the input buffer:
+
+* a fully associative victim cache holding recently evicted vertex records,
+* a tag-only miss cache catching short-term miss reuse,
+* stream buffers prefetching the sequential DRAM vertex stream.
+
+It then runs the full GNNIE cycle model with and without the hierarchy to
+show the latency effect on the no-caching ablation, and verifies that the
+degree-aware policy — which has no input-buffer misses — is left untouched.
+
+Run with:  python examples/miss_path_hierarchy.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, miss_path_ablation_rows
+from repro.cache import MissPathConfig
+from repro.datasets import build_dataset
+from repro.hw import AcceleratorConfig
+from repro.sim import GNNIESimulator, input_buffer_capacity
+
+
+def main() -> None:
+    graph = build_dataset("cora", seed=0)
+    config = AcceleratorConfig().with_input_buffer_for(graph.name)
+    feature_length = 128
+    capacity, record_bytes = input_buffer_capacity(graph.adjacency, config, feature_length)
+    print(
+        f"Cora stand-in: {graph.num_vertices} vertices, "
+        f"{graph.num_edges // 2} undirected edges; "
+        f"input buffer holds {capacity} vertex records\n"
+    )
+
+    # ------------------------------------------------------------------ #
+    # 1. Mechanism ablation on the vertex-order baseline's miss trace.
+    # ------------------------------------------------------------------ #
+    rows = miss_path_ablation_rows(
+        graph.adjacency,
+        capacity=capacity,
+        bytes_per_vertex=record_bytes,
+        policies=("vertex_order", "lru", "degree_aware"),
+        mechanisms=("victim", "miss", "stream"),
+        dataset=graph.name,
+    )
+    print(format_table(rows, title="Miss-path mechanisms per hit-path policy"))
+    print(
+        "\nThe degree-aware rows are all zero: GNNIE's policy issues no "
+        "input-buffer misses, so there is nothing for the hierarchy to recover."
+    )
+
+    # ------------------------------------------------------------------ #
+    # 2. Stream-buffer sizing sweep (count x depth).
+    # ------------------------------------------------------------------ #
+    sweep_rows = []
+    for count in (1, 2, 4, 8):
+        for depth in (4, 16, 64):
+            sizing = MissPathConfig(stream_buffers=count, stream_depth=depth)
+            [row] = miss_path_ablation_rows(
+                graph.adjacency,
+                capacity=capacity,
+                bytes_per_vertex=record_bytes,
+                policies=("vertex_order",),
+                mechanisms=("stream",),
+                miss_config=sizing,
+            )
+            sweep_rows.append(
+                {
+                    "buffers": count,
+                    "depth": depth,
+                    "hit_rate_pct": row["hit_rate_pct"],
+                    "dram_random_avoided": row["dram_random_avoided"],
+                }
+            )
+    print()
+    print(format_table(sweep_rows, title="Stream-buffer sizing sweep (vertex-order baseline)"))
+
+    # ------------------------------------------------------------------ #
+    # 3. Whole-inference effect on the no-caching ablation.
+    # ------------------------------------------------------------------ #
+    ablation_cfg = config.without_optimizations()
+    hierarchy_cfg = ablation_cfg.with_miss_path("victim", "miss", "stream")
+    plain = GNNIESimulator(ablation_cfg).run(graph, "gcn")
+    filtered = GNNIESimulator(hierarchy_cfg).run(graph, "gcn")
+    gnnie = GNNIESimulator(config.with_miss_path("victim", "miss", "stream")).run(
+        graph, "gcn"
+    )
+
+    def traffic(result):
+        random = sum(p.dram_random_accesses for l in result.layers for p in l.phases())
+        avoided = sum(
+            p.dram_random_accesses_avoided for l in result.layers for p in l.phases()
+        )
+        return random, avoided
+
+    report = []
+    for label, result in (
+        ("no caching", plain),
+        ("no caching + VC/MC/SB", filtered),
+        ("degree-aware + VC/MC/SB", gnnie),
+    ):
+        random, avoided = traffic(result)
+        report.append(
+            {
+                "configuration": label,
+                "dram_random_accesses": random,
+                "random_avoided": avoided,
+                "cycles": result.total_cycles,
+                "latency_us": round(result.latency_seconds * 1e6, 2),
+            }
+        )
+    print()
+    print(format_table(report, title="GCN inference with and without the miss path"))
+    print(
+        "\nThe hierarchy claws back part of the baseline's random-access "
+        "penalty, but degree-aware caching still wins: prevention beats recovery."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,31 @@
-"""Graph-specific, degree-aware caching for Aggregation (paper, Section VI)."""
+"""Graph-specific, degree-aware caching for Aggregation (paper, Section VI).
+
+Besides the hit-path policy simulators (degree-aware controller, LRU/MRU,
+static partition and the vertex-order baseline), the package now contains a
+trace-driven **miss-path hierarchy**: the policy simulators can emit a
+miss/eviction trace (:mod:`repro.cache.trace`), which a configurable set of
+classic hardware structures — victim cache, miss cache, stream buffers
+(:mod:`repro.cache.mechanisms`) — filters before DRAM
+(:mod:`repro.cache.hierarchy`).  Mechanisms are pluggable through
+:data:`MECHANISM_REGISTRY` / :func:`register_mechanism`.
+"""
 
 from repro.cache.controller import (
     DegreeAwareCacheController,
     simulate_vertex_order_baseline,
     vertex_record_bytes,
+)
+from repro.cache.hierarchy import HierarchyResult, MissPathConfig, MissPathHierarchy
+from repro.cache.mechanisms import (
+    MECHANISM_REGISTRY,
+    MechanismStats,
+    MissCache,
+    MissPathMechanism,
+    StreamBufferArray,
+    VictimCache,
+    build_mechanism,
+    mechanism_names,
+    register_mechanism,
 )
 from repro.cache.policies import (
     compare_cache_policies,
@@ -12,6 +34,7 @@ from repro.cache.policies import (
     simulate_static_partition_policy,
 )
 from repro.cache.policy import CachePolicyConfig, CacheSimulationResult, IterationRecord
+from repro.cache.trace import EVICT, MISS, TraceRecorder, VertexAccessTrace
 
 __all__ = [
     "CachePolicyConfig",
@@ -24,4 +47,23 @@ __all__ = [
     "simulate_lru_policy",
     "simulate_mru_policy",
     "simulate_static_partition_policy",
+    # Miss-path trace
+    "MISS",
+    "EVICT",
+    "TraceRecorder",
+    "VertexAccessTrace",
+    # Miss-path mechanisms + registry
+    "MechanismStats",
+    "MissPathMechanism",
+    "VictimCache",
+    "MissCache",
+    "StreamBufferArray",
+    "MECHANISM_REGISTRY",
+    "register_mechanism",
+    "mechanism_names",
+    "build_mechanism",
+    # Hierarchy
+    "MissPathConfig",
+    "HierarchyResult",
+    "MissPathHierarchy",
 ]

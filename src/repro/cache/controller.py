@@ -27,6 +27,7 @@ from collections import deque
 import numpy as np
 
 from repro.cache.policy import CachePolicyConfig, CacheSimulationResult, IterationRecord
+from repro.cache.trace import TraceRecorder
 from repro.graph.csr import CSRGraph
 
 __all__ = ["DegreeAwareCacheController", "simulate_vertex_order_baseline", "vertex_record_bytes"]
@@ -70,15 +71,23 @@ class _UndirectedEdgeIndex:
         self.degrees = counts.astype(np.int64)
 
     def incident_edges(self, vertices: np.ndarray) -> np.ndarray:
-        """Edge ids incident to any of ``vertices`` (with duplicates removed)."""
+        """Edge ids incident to any of ``vertices`` (with duplicates removed).
+
+        The per-vertex incidence slices form a ragged gather; instead of
+        materializing one array per vertex and concatenating, the slice
+        offsets are expanded into a single flat index vector (the classic
+        ``repeat``-of-starts plus intra-slice ramp) and applied in one go.
+        """
         if vertices.size == 0:
             return np.empty(0, dtype=np.int64)
-        pieces = [
-            self._sorted_edge_ids[self.indptr[v] : self.indptr[v + 1]] for v in vertices
-        ]
-        if not pieces:
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
             return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate(pieces))
+        ends = counts.cumsum()
+        flat = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - counts), counts)
+        return np.unique(self._sorted_edge_ids[flat])
 
 
 class DegreeAwareCacheController:
@@ -107,8 +116,26 @@ class DegreeAwareCacheController:
     # ------------------------------------------------------------------ #
     # Simulation
     # ------------------------------------------------------------------ #
-    def run(self) -> CacheSimulationResult:
-        """Run Aggregation caching until every edge has been processed."""
+    def run(self, *, collect_trace: bool = False) -> CacheSimulationResult:
+        """Run Aggregation caching until every edge has been processed.
+
+        With ``collect_trace`` the eviction sequence is recorded so the
+        miss-path hierarchy can evaluate victim-cache occupancy; the policy
+        itself produces no input-buffer misses (every fetch is sequential),
+        so the trace contains no MISS events and the hierarchy recovers
+        nothing — which is exactly the invariant the miss-path ablation
+        asserts.
+        """
+        recorder = (
+            TraceRecorder(
+                num_vertices=self.adjacency.num_vertices,
+                bytes_per_vertex=self.bytes_per_vertex,
+                policy="degree_aware",
+                stream_order=self.stream_order,
+            )
+            if collect_trace
+            else None
+        )
         edge_index = self._edge_index
         num_vertices = self.adjacency.num_vertices
         num_edges = edge_index.num_edges
@@ -164,6 +191,8 @@ class DegreeAwareCacheController:
                         evict_ids = self._force_evictions(resident, alpha, replacement)
                     resident[evict_ids] = False
                     evicted = int(evict_ids.size)
+                    if recorder is not None:
+                        recorder.evict_many(evict_ids)
                     unfinished_evicted = evict_ids[alpha[evict_ids] > 0]
                     result.alpha_writeback_bytes += unfinished_evicted.size * self.index_bytes
                     fetched, stream_position = self._fetch(
@@ -212,6 +241,8 @@ class DegreeAwareCacheController:
                 break
 
         result.total_edges_processed = total_processed
+        if recorder is not None:
+            result.trace = recorder.finish()
         return result
 
     def _pairwise_fallback(
@@ -336,6 +367,7 @@ def simulate_vertex_order_baseline(
     capacity_vertices: int,
     *,
     bytes_per_vertex: int = 256,
+    collect_trace: bool = False,
 ) -> CacheSimulationResult:
     """Ablation baseline: no degree ordering, no subgraph-confined processing.
 
@@ -343,11 +375,21 @@ def simulate_vertex_order_baseline(
     the weighted features of all its neighbors, and every neighbor that is
     not currently resident in the FIFO-managed buffer is fetched with a
     random DRAM access.  This is the access pattern whose elimination gives
-    the CP bars of Fig. 18.
+    the CP bars of Fig. 18.  With ``collect_trace`` the miss/eviction
+    sequence is recorded on ``result.trace`` for the miss-path hierarchy.
     """
     if capacity_vertices <= 0:
         raise ValueError("capacity_vertices must be positive")
     result = CacheSimulationResult()
+    recorder = (
+        TraceRecorder(
+            num_vertices=adjacency.num_vertices,
+            bytes_per_vertex=bytes_per_vertex,
+            policy="vertex_order",
+        )
+        if collect_trace
+        else None
+    )
     buffer_fifo: deque[int] = deque()
     buffer_set: set[int] = set()
     num_vertices = adjacency.num_vertices
@@ -356,7 +398,7 @@ def simulate_vertex_order_baseline(
         # The vertex itself streams in sequentially.
         result.vertex_fetches += 1
         result.sequential_fetch_bytes += bytes_per_vertex
-        _admit(vertex, buffer_fifo, buffer_set, capacity_vertices)
+        _admit(vertex, buffer_fifo, buffer_set, capacity_vertices, recorder)
         neighbors = adjacency.neighbors(vertex)
         for neighbor in neighbors:
             neighbor = int(neighbor)
@@ -366,7 +408,9 @@ def simulate_vertex_order_baseline(
                 continue
             result.random_accesses += 1
             result.random_access_bytes += bytes_per_vertex
-            _admit(neighbor, buffer_fifo, buffer_set, capacity_vertices)
+            if recorder is not None:
+                recorder.miss(neighbor)
+            _admit(neighbor, buffer_fifo, buffer_set, capacity_vertices, recorder)
     result.num_rounds = 1
     result.total_edges_processed = undirected_edges
     result.iterations.append(
@@ -380,14 +424,24 @@ def simulate_vertex_order_baseline(
             evicted_vertices=0,
         )
     )
+    if recorder is not None:
+        result.trace = recorder.finish()
     return result
 
 
-def _admit(vertex: int, fifo: deque[int], members: set[int], capacity: int) -> None:
+def _admit(
+    vertex: int,
+    fifo: deque[int],
+    members: set[int],
+    capacity: int,
+    recorder: TraceRecorder | None = None,
+) -> None:
     if vertex in members:
         return
     if len(fifo) >= capacity:
         evicted = fifo.popleft()
         members.discard(evicted)
+        if recorder is not None:
+            recorder.evict(evicted)
     fifo.append(vertex)
     members.add(vertex)

@@ -1,0 +1,199 @@
+"""Configurable miss-path hierarchy behind the input buffer.
+
+:class:`MissPathHierarchy` glues the registered mechanisms
+(:mod:`repro.cache.mechanisms`) into one filter: every input-buffer miss in
+a :class:`~repro.cache.trace.VertexAccessTrace` probes all configured
+structures in parallel, any hit keeps the access on chip, and only the
+remaining misses go to DRAM as random accesses.  The outcome is a
+:class:`HierarchyResult` with per-mechanism statistics (accesses, hits, hit
+rate — the counters the SimpleScalar miss-path studies report) plus the
+combined recovered-traffic totals the DRAM and cycle models consume.
+
+The hierarchy is configured either directly via :class:`MissPathConfig` or
+from the accelerator-level knobs on
+:class:`repro.hw.config.AcceleratorConfig` (``miss_path_mechanisms``,
+``victim_cache_entries``, ``miss_cache_entries``, ``stream_buffer_count``,
+``stream_buffer_depth``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.mechanisms import (
+    MechanismStats,
+    MissPathMechanism,
+    build_mechanism,
+    mechanism_names,
+)
+from repro.cache.trace import VertexAccessTrace
+
+__all__ = ["MissPathConfig", "HierarchyResult", "MissPathHierarchy"]
+
+
+@dataclass(frozen=True)
+class MissPathConfig:
+    """Sizing of the miss-path structures.
+
+    Attributes:
+        mechanisms: Registry names of the enabled structures, probed in
+            parallel on every input-buffer miss.
+        victim_entries: Fully associative victim cache capacity (records).
+        miss_entries: Tag-only miss cache capacity (tags).
+        stream_buffers: Number of stream buffers.
+        stream_depth: Prefetch window length of each stream buffer.
+    """
+
+    mechanisms: tuple[str, ...] = ()
+    victim_entries: int = 64
+    #: Tag-only, so a tag store larger than the input buffer's vertex
+    #: capacity is still cheap (4-byte tags vs ~256-byte records) — and it
+    #: must be larger for reuse to land: a vertex can only re-miss after
+    #: ~capacity admissions have evicted it from the input buffer.
+    miss_entries: int = 4096
+    stream_buffers: int = 4
+    stream_depth: int = 16
+
+    def __post_init__(self) -> None:
+        unknown = set(self.mechanisms) - set(mechanism_names())
+        if unknown:
+            raise ValueError(
+                f"unknown miss-path mechanisms {sorted(unknown)}; "
+                f"known: {sorted(mechanism_names())}"
+            )
+        if self.victim_entries <= 0 or self.miss_entries <= 0:
+            raise ValueError("victim/miss cache capacities must be positive")
+        if self.stream_buffers <= 0 or self.stream_depth <= 0:
+            raise ValueError("stream buffer count and depth must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.mechanisms)
+
+    def mechanism_kwargs(self, name: str) -> dict[str, int]:
+        """Constructor arguments for one registered mechanism."""
+        return {
+            "victim": {"entries": self.victim_entries},
+            "miss": {"entries": self.miss_entries},
+            "stream": {"count": self.stream_buffers, "depth": self.stream_depth},
+        }.get(name, {})
+
+    @classmethod
+    def from_accelerator_config(cls, config) -> "MissPathConfig":
+        """Lift the ``AcceleratorConfig`` miss-path knobs into this record."""
+        return cls(
+            mechanisms=tuple(config.miss_path_mechanisms),
+            victim_entries=config.victim_cache_entries,
+            miss_entries=config.miss_cache_entries,
+            stream_buffers=config.stream_buffer_count,
+            stream_depth=config.stream_buffer_depth,
+        )
+
+
+@dataclass
+class HierarchyResult:
+    """What the miss-path hierarchy recovered from one trace."""
+
+    mechanisms: list[MechanismStats] = field(default_factory=list)
+    total_misses: int = 0
+    resolved: int = 0
+    #: Subset of ``resolved`` served only by DRAM-filling structures (stream
+    #: buffers): the random access is avoided, but the record's bytes were
+    #: still fetched from DRAM — as sequential prefetch traffic.
+    prefetch_resolved: int = 0
+    #: Total records the DRAM-filling structures streamed in, consumed or
+    #: not (stream-buffer allocations fetch ``depth`` records each).  This
+    #: is reported, not charged: the cycle model charges only the consumed
+    #: prefetches (``sequential_prefetch_bytes``), i.e. it assumes an ideal
+    #: bypass that cancels unconsumed fills — compare this number against
+    #: ``prefetch_resolved`` to see how optimistic that is per workload.
+    prefetch_fill_records: int = 0
+    bytes_per_vertex: int = 256
+    policy: str = "unknown"
+
+    @property
+    def dram_random_accesses(self) -> int:
+        """Misses that still reach DRAM after the hierarchy."""
+        return self.total_misses - self.resolved
+
+    @property
+    def random_accesses_avoided(self) -> int:
+        return self.resolved
+
+    @property
+    def random_bytes_avoided(self) -> int:
+        return self.resolved * self.bytes_per_vertex
+
+    @property
+    def sequential_prefetch_bytes(self) -> int:
+        """Bytes the stream buffers streamed from DRAM to serve their hits."""
+        return self.prefetch_resolved * self.bytes_per_vertex
+
+    @property
+    def hit_rate(self) -> float:
+        return self.resolved / self.total_misses if self.total_misses else 0.0
+
+    def rows(self) -> list[dict[str, object]]:
+        """Per-mechanism table rows plus the combined hierarchy row."""
+        rows = [stats.as_row() for stats in self.mechanisms]
+        if len(self.mechanisms) > 1:
+            rows.append(
+                {
+                    "mechanism": "+".join(stats.name for stats in self.mechanisms),
+                    "accesses": self.total_misses,
+                    "hits": self.resolved,
+                    "hit_rate_pct": round(100.0 * self.hit_rate, 2),
+                    "dram_random_avoided": self.resolved,
+                }
+            )
+        return rows
+
+
+class MissPathHierarchy:
+    """Parallel-probe composition of the configured miss-path mechanisms."""
+
+    def __init__(self, config: MissPathConfig) -> None:
+        self.config = config
+        self.mechanisms: list[MissPathMechanism] = [
+            build_mechanism(name, **config.mechanism_kwargs(name))
+            for name in config.mechanisms
+        ]
+
+    @classmethod
+    def from_accelerator_config(cls, config) -> "MissPathHierarchy":
+        return cls(MissPathConfig.from_accelerator_config(config))
+
+    def filter(self, trace: VertexAccessTrace) -> HierarchyResult:
+        """Run every miss of ``trace`` through the hierarchy.
+
+        Per-mechanism stats count each structure's own hits (parallel
+        probing, so the same miss may hit several structures); the combined
+        ``resolved`` count is the union — each such miss costs zero DRAM
+        random accesses regardless of how many structures held it.
+        """
+        result = HierarchyResult(
+            total_misses=trace.num_misses,
+            bytes_per_vertex=trace.bytes_per_vertex,
+            policy=trace.policy,
+        )
+        resolved = np.zeros(trace.num_misses, dtype=bool)
+        on_chip = np.zeros(trace.num_misses, dtype=bool)
+        for mechanism in self.mechanisms:
+            mask = mechanism.hit_mask(trace)
+            resolved |= mask
+            if not getattr(mechanism, "serves_from_dram", False):
+                # A parallel hit in an on-chip structure serves the data
+                # without DRAM, even if a stream buffer also held it.
+                on_chip |= mask
+            else:
+                result.prefetch_fill_records += mechanism.dram_fill_records(mask)
+            result.mechanisms.append(
+                MechanismStats(
+                    name=mechanism.name, accesses=int(mask.size), hits=int(mask.sum())
+                )
+            )
+        result.resolved = int(resolved.sum())
+        result.prefetch_resolved = int((resolved & ~on_chip).sum())
+        return result

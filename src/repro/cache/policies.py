@@ -28,6 +28,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.cache.policy import CacheSimulationResult, IterationRecord
+from repro.cache.trace import TraceRecorder
 from repro.graph.csr import CSRGraph
 
 __all__ = [
@@ -45,16 +46,29 @@ def _edge_walk_with_buffer(
     *,
     eviction: str,
     pinned: np.ndarray | None = None,
+    collect_trace: bool = False,
+    policy_name: str | None = None,
 ) -> CacheSimulationResult:
     """Process vertices in id order with an LRU/MRU-managed buffer.
 
     Every neighbor access that misses the buffer costs one random DRAM
     access; pinned vertices (static partition) never leave the buffer and do
-    not occupy the replaceable capacity.
+    not occupy the replaceable capacity.  With ``collect_trace`` the
+    miss/eviction sequence is recorded on ``result.trace`` so the miss-path
+    hierarchy can filter it.
     """
     if capacity <= 0:
         raise ValueError("capacity must be positive")
     result = CacheSimulationResult()
+    recorder = (
+        TraceRecorder(
+            num_vertices=adjacency.num_vertices,
+            bytes_per_vertex=bytes_per_vertex,
+            policy=policy_name or eviction,
+        )
+        if collect_trace
+        else None
+    )
     pinned_set = set(int(v) for v in pinned) if pinned is not None else set()
     replaceable_capacity = max(1, capacity - len(pinned_set))
     buffer: OrderedDict[int, None] = OrderedDict()
@@ -68,9 +82,11 @@ def _edge_walk_with_buffer(
             return
         if len(buffer) >= replaceable_capacity:
             if eviction == "lru":
-                buffer.popitem(last=False)
+                evicted, _ = buffer.popitem(last=False)
             else:  # mru
-                buffer.popitem(last=True)
+                evicted, _ = buffer.popitem(last=True)
+            if recorder is not None:
+                recorder.evict(evicted)
         buffer[vertex] = None
 
     for vertex in range(adjacency.num_vertices):
@@ -87,6 +103,8 @@ def _edge_walk_with_buffer(
                 continue
             result.random_accesses += 1
             result.random_access_bytes += bytes_per_vertex
+            if recorder is not None:
+                recorder.miss(neighbor)
             admit(neighbor)
 
     result.num_rounds = 1
@@ -102,29 +120,51 @@ def _edge_walk_with_buffer(
             evicted_vertices=0,
         )
     )
+    if recorder is not None:
+        result.trace = recorder.finish()
     return result
 
 
 def simulate_lru_policy(
-    adjacency: CSRGraph, capacity_vertices: int, *, bytes_per_vertex: int = 256
+    adjacency: CSRGraph,
+    capacity_vertices: int,
+    *,
+    bytes_per_vertex: int = 256,
+    collect_trace: bool = False,
 ) -> CacheSimulationResult:
     """Least-recently-used vertex buffer, id-order processing."""
     return _edge_walk_with_buffer(
-        adjacency, capacity_vertices, bytes_per_vertex, eviction="lru"
+        adjacency,
+        capacity_vertices,
+        bytes_per_vertex,
+        eviction="lru",
+        collect_trace=collect_trace,
     )
 
 
 def simulate_mru_policy(
-    adjacency: CSRGraph, capacity_vertices: int, *, bytes_per_vertex: int = 256
+    adjacency: CSRGraph,
+    capacity_vertices: int,
+    *,
+    bytes_per_vertex: int = 256,
+    collect_trace: bool = False,
 ) -> CacheSimulationResult:
     """Most-recently-used eviction (GRASP-style thrash protection)."""
     return _edge_walk_with_buffer(
-        adjacency, capacity_vertices, bytes_per_vertex, eviction="mru"
+        adjacency,
+        capacity_vertices,
+        bytes_per_vertex,
+        eviction="mru",
+        collect_trace=collect_trace,
     )
 
 
 def simulate_static_partition_policy(
-    adjacency: CSRGraph, capacity_vertices: int, *, bytes_per_vertex: int = 256
+    adjacency: CSRGraph,
+    capacity_vertices: int,
+    *,
+    bytes_per_vertex: int = 256,
+    collect_trace: bool = False,
 ) -> CacheSimulationResult:
     """Pin the highest-degree vertices; stream the rest through one slot.
 
@@ -143,6 +183,8 @@ def simulate_static_partition_policy(
         bytes_per_vertex,
         eviction="lru",
         pinned=pinned,
+        collect_trace=collect_trace,
+        policy_name="static_partition",
     )
 
 

@@ -18,6 +18,12 @@ Compare GNNIE against the baseline platforms::
 Sweep the named design points A–E::
 
     python -m repro designs --dataset cora --model gcn
+
+Evaluate miss-path mechanisms (victim cache / miss cache / stream buffers)
+behind the input buffer::
+
+    python -m repro cache --dataset cora --mechanism victim,stream
+    python -m repro cache --dataset pubmed --policy all --mechanism victim,miss,stream
 """
 
 from __future__ import annotations
@@ -26,14 +32,21 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis import compare_against_platform, format_table
+import repro
+from repro.analysis import (
+    TRACE_POLICIES,
+    compare_against_platform,
+    format_table,
+    miss_path_ablation_rows,
+)
 from repro.analysis.roofline import roofline_analysis
 from repro.baselines import AWBGCNModel, HyGCNModel, PyGCPUModel, PyGGPUModel
 from repro.baselines.engn import EnGNModel
+from repro.cache import MissPathConfig, mechanism_names
 from repro.datasets import build_dataset, dataset_names, dataset_spec
 from repro.hw import AcceleratorConfig, design_preset
 from repro.models import MODEL_FAMILIES
-from repro.sim import GNNIESimulator
+from repro.sim import GNNIESimulator, input_buffer_capacity
 from repro.sim.trace import phase_table, result_to_json
 
 __all__ = ["main", "build_parser"]
@@ -43,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GNNIE (DAC 2022) reproduction: simulate GNN inference on the GNNIE accelerator model.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -64,6 +80,53 @@ def build_parser() -> argparse.ArgumentParser:
     designs_parser = subparsers.add_parser("designs", help="evaluate design points A-E")
     _add_workload_arguments(designs_parser)
     designs_parser.set_defaults(handler=_cmd_designs)
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="evaluate miss-path mechanisms (victim/miss/stream) behind the input buffer",
+    )
+    cache_parser.add_argument(
+        "--dataset", default="cora", choices=dataset_names(), help="benchmark dataset"
+    )
+    cache_parser.add_argument(
+        "--scale", type=float, default=None, help="dataset scale factor in (0, 1]"
+    )
+    cache_parser.add_argument("--seed", type=int, default=0, help="dataset generation seed")
+    cache_parser.add_argument(
+        "--mechanism",
+        default="victim,miss,stream",
+        help=(
+            "comma-separated miss-path mechanisms to evaluate "
+            f"(known: {', '.join(mechanism_names())}); each is evaluated alone "
+            "plus one combined hierarchy row when several are given"
+        ),
+    )
+    cache_parser.add_argument(
+        "--policy",
+        default="vertex_order",
+        choices=sorted(TRACE_POLICIES) + ["all"],
+        help="hit-path policy whose miss trace is filtered (default: the "
+        "vertex-order baseline, the policy with the random-traffic problem)",
+    )
+    cache_parser.add_argument(
+        "--feature-length",
+        type=int,
+        default=128,
+        help="aggregated feature length used to size one vertex record",
+    )
+    cache_parser.add_argument(
+        "--victim-entries", type=int, default=None, help="victim cache entries"
+    )
+    cache_parser.add_argument(
+        "--miss-entries", type=int, default=None, help="miss cache tag entries"
+    )
+    cache_parser.add_argument(
+        "--stream-buffers", type=int, default=None, help="number of stream buffers"
+    )
+    cache_parser.add_argument(
+        "--stream-depth", type=int, default=None, help="prefetch depth per stream buffer"
+    )
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     return parser
 
@@ -187,6 +250,60 @@ def _cmd_designs(args: argparse.Namespace) -> int:
             }
         )
     print(format_table(rows, title=f"Design points A-E: {args.model.upper()} on {graph.name}"))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    graph = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = AcceleratorConfig().with_input_buffer_for(graph.name)
+    try:
+        capacity, record_bytes = input_buffer_capacity(
+            graph.adjacency, config, args.feature_length
+        )
+    except ValueError as error:
+        print(f"invalid --feature-length: {error}", file=sys.stderr)
+        return 2
+    mechanisms = tuple(
+        dict.fromkeys(name.strip() for name in args.mechanism.split(",") if name.strip())
+    )
+    if not mechanisms:
+        print("no mechanisms given (use e.g. --mechanism victim,stream)", file=sys.stderr)
+        return 2
+    unknown = set(mechanisms) - set(mechanism_names())
+    if unknown:
+        print(
+            f"unknown mechanisms {sorted(unknown)}; known: {', '.join(mechanism_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {
+        "victim_entries": args.victim_entries,
+        "miss_entries": args.miss_entries,
+        "stream_buffers": args.stream_buffers,
+        "stream_depth": args.stream_depth,
+    }
+    try:
+        sizing = MissPathConfig(
+            **{key: value for key, value in overrides.items() if value is not None}
+        )
+    except ValueError as error:
+        print(f"invalid miss-path sizing: {error}", file=sys.stderr)
+        return 2
+    policies = sorted(TRACE_POLICIES) if args.policy == "all" else [args.policy]
+    rows = miss_path_ablation_rows(
+        graph.adjacency,
+        capacity=capacity,
+        bytes_per_vertex=record_bytes,
+        policies=policies,
+        mechanisms=mechanisms,
+        miss_config=sizing,
+        dataset=graph.name,
+    )
+    title = (
+        f"Miss-path hierarchy on {graph.name} "
+        f"(buffer capacity {capacity} vertices, record {record_bytes} B)"
+    )
+    print(format_table(rows, title=title))
     return 0
 
 

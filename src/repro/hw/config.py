@@ -56,6 +56,22 @@ class AcceleratorConfig:
     gamma: int = 5
     cache_associativity: int = 4
 
+    # --- Miss-path hierarchy behind the input buffer -------------------- #
+    #: Mechanism names from :data:`repro.cache.MECHANISM_REGISTRY` (built in:
+    #: "victim", "miss", "stream"; extensible via ``register_mechanism``),
+    #: probed in parallel on every input-buffer miss; empty tuple disables
+    #: the hierarchy (the seed behavior: every miss goes straight to DRAM).
+    #: Names are validated against the live registry when the hierarchy is
+    #: built (``repro.hw`` cannot import ``repro.cache``), so plug-in
+    #: mechanisms registered at runtime work here too.
+    miss_path_mechanisms: tuple[str, ...] = ()
+    victim_cache_entries: int = 64
+    #: Tag-only structure, so a tag store exceeding the input buffer's
+    #: vertex capacity is still cheap (4-byte tags vs ~256-byte records).
+    miss_cache_entries: int = 4096
+    stream_buffer_count: int = 4
+    stream_buffer_depth: int = 16
+
     # --- Optimization feature flags (for ablations) --------------------- #
     enable_flexible_mac: bool = True
     enable_load_redistribution: bool = True
@@ -85,6 +101,10 @@ class AcceleratorConfig:
             )
         if self.gamma < 0:
             raise ValueError("gamma must be non-negative")
+        if self.victim_cache_entries <= 0 or self.miss_cache_entries <= 0:
+            raise ValueError("victim/miss cache capacities must be positive")
+        if self.stream_buffer_count <= 0 or self.stream_buffer_depth <= 0:
+            raise ValueError("stream buffer count and depth must be positive")
 
     @property
     def num_groups(self) -> int:
@@ -127,6 +147,19 @@ class AcceleratorConfig:
     def peak_ops_per_second(self) -> float:
         """Peak throughput counting one MAC as two operations (mult + add)."""
         return 2.0 * self.total_macs * self.frequency_hz
+
+    @property
+    def miss_path_enabled(self) -> bool:
+        return bool(self.miss_path_mechanisms)
+
+    def with_miss_path(self, *mechanisms: str, **sizing: int) -> "AcceleratorConfig":
+        """Copy with the given miss-path mechanisms enabled.
+
+        ``sizing`` forwards the hierarchy knobs (``victim_cache_entries``,
+        ``miss_cache_entries``, ``stream_buffer_count``,
+        ``stream_buffer_depth``).
+        """
+        return replace(self, miss_path_mechanisms=tuple(mechanisms), **sizing)
 
     def with_input_buffer_for(self, dataset_abbreviation: str) -> "AcceleratorConfig":
         """Return a copy with the paper's per-dataset input buffer sizing.

@@ -31,10 +31,20 @@ class DRAMStats:
     random_bytes: int = 0
     random_accesses: int = 0
     total_cycles: int = 0
+    #: Random accesses that were resolved by the miss-path hierarchy
+    #: (victim cache / miss cache / stream buffers) and therefore never
+    #: reached DRAM; tracked so ablations can report recovered traffic.
+    random_accesses_avoided: int = 0
+    random_bytes_avoided: int = 0
 
     @property
     def total_bytes(self) -> int:
         return self.sequential_bytes + self.random_bytes
+
+    @property
+    def random_accesses_issued(self) -> int:
+        """Random accesses before miss-path filtering (issued by the policy)."""
+        return self.random_accesses + self.random_accesses_avoided
 
 
 @dataclass
@@ -106,6 +116,24 @@ class HBMModel:
         self.stats.random_accesses += num_accesses
         self.stats.total_cycles += cycles
         return cycles
+
+    def note_avoided_random_accesses(
+        self, num_accesses: int, bytes_per_access: int | None = None
+    ) -> None:
+        """Record random accesses the miss-path hierarchy filtered out.
+
+        No random-access cycles or energy are charged here: victim/miss-cache
+        hits are served on chip, and stream-buffer hits are charged by the
+        caller as *sequential* prefetch traffic instead.  This only keeps
+        the statistics honest about how much random traffic disappeared.
+        """
+        if num_accesses < 0:
+            raise ValueError("num_accesses must be non-negative")
+        granule = bytes_per_access or self.random_access_granularity_bytes
+        self.stats.random_accesses_avoided += num_accesses
+        self.stats.random_bytes_avoided += num_accesses * max(
+            granule, self.random_access_granularity_bytes
+        )
 
     # ------------------------------------------------------------------ #
     # Energy

@@ -2,6 +2,7 @@
 
 from repro.sim.aggregation_sim import (
     aggregation_phase_from_cache,
+    input_buffer_capacity,
     run_cache_simulation,
     simulate_aggregation,
 )
@@ -36,5 +37,6 @@ __all__ = [
     "weighting_phase_from_schedule",
     "simulate_aggregation",
     "run_cache_simulation",
+    "input_buffer_capacity",
     "aggregation_phase_from_cache",
 ]

@@ -15,6 +15,7 @@ from repro.cache.controller import (
     simulate_vertex_order_baseline,
     vertex_record_bytes,
 )
+from repro.cache.hierarchy import MissPathHierarchy
 from repro.cache.policy import CachePolicyConfig, CacheSimulationResult
 from repro.graph.csr import CSRGraph
 from repro.hw.config import AcceleratorConfig
@@ -22,10 +23,32 @@ from repro.hw.dram import HBMModel
 from repro.mapping.aggregation import AggregationCycleModel
 from repro.sim.results import PhaseResult
 
-__all__ = ["run_cache_simulation", "simulate_aggregation", "aggregation_phase_from_cache"]
+__all__ = [
+    "input_buffer_capacity",
+    "run_cache_simulation",
+    "simulate_aggregation",
+    "aggregation_phase_from_cache",
+]
 
 #: Preprocessing (degree binning / vertex reordering) throughput.
 _PREPROCESSING_OPS_PER_CYCLE = 8
+
+
+def input_buffer_capacity(
+    adjacency: CSRGraph, config: AcceleratorConfig, feature_length: int
+) -> tuple[int, int]:
+    """``(capacity_vertices, record_bytes)`` of the configured input buffer.
+
+    The single place where the buffer's vertex capacity is derived from the
+    per-vertex record size; the CLI and the benchmarks reuse it so their
+    tables are computed at exactly the capacity the simulator charges.
+    """
+    record_bytes = vertex_record_bytes(
+        feature_length,
+        adjacency.average_degree(),
+        bytes_per_value=config.bytes_per_value,
+    )
+    return max(1, config.input_buffer_bytes // record_bytes), record_bytes
 
 
 def run_cache_simulation(
@@ -41,27 +64,34 @@ def run_cache_simulation(
     With ``enable_degree_aware_caching`` the degree-aware controller is used
     (sequential DRAM traffic only); otherwise the vertex-id-order baseline is
     simulated, which pays random DRAM accesses for non-resident neighbors.
+
+    When the configuration enables miss-path mechanisms
+    (``config.miss_path_mechanisms``), the policy additionally emits its
+    miss/eviction trace, the hierarchy filters it, and the outcome is
+    attached to the result (``result.miss_path``); downstream cycle/energy
+    models then charge only the *net* random accesses to DRAM.
     """
-    record_bytes = vertex_record_bytes(
-        feature_length,
-        adjacency.average_degree(),
-        bytes_per_value=config.bytes_per_value,
-    )
-    capacity = max(1, config.input_buffer_bytes // record_bytes)
+    capacity, record_bytes = input_buffer_capacity(adjacency, config, feature_length)
+    collect_trace = config.miss_path_enabled
     if not config.enable_degree_aware_caching:
-        return simulate_vertex_order_baseline(
-            adjacency, capacity, bytes_per_vertex=record_bytes
+        result = simulate_vertex_order_baseline(
+            adjacency, capacity, bytes_per_vertex=record_bytes, collect_trace=collect_trace
         )
-    policy = CachePolicyConfig(
-        capacity_vertices=capacity,
-        gamma=config.gamma if gamma is None else gamma,
-        replacement_count=replacement_count,
-        degree_ordered=True,
-    )
-    controller = DegreeAwareCacheController(
-        adjacency, policy, bytes_per_vertex=record_bytes
-    )
-    return controller.run()
+    else:
+        policy = CachePolicyConfig(
+            capacity_vertices=capacity,
+            gamma=config.gamma if gamma is None else gamma,
+            replacement_count=replacement_count,
+            degree_ordered=True,
+        )
+        controller = DegreeAwareCacheController(
+            adjacency, policy, bytes_per_vertex=record_bytes
+        )
+        result = controller.run(collect_trace=collect_trace)
+    if collect_trace and result.trace is not None:
+        hierarchy = MissPathHierarchy.from_accelerator_config(config)
+        result.miss_path = hierarchy.filter(result.trace)
+    return result
 
 
 def aggregation_phase_from_cache(
@@ -105,15 +135,32 @@ def aggregation_phase_from_cache(
 
     # --- DRAM traffic --------------------------------------------------- #
     # Vertex records stream in sequentially (the policy's key guarantee);
-    # random accesses appear only for the id-order ablation baseline.
-    fetch_cycles = dram.sequential_transfer_cycles(cache_result.sequential_fetch_bytes)
+    # random accesses appear only for the id-order ablation baseline.  The
+    # miss-path hierarchy (when configured) resolves part of those misses:
+    # victim/miss-cache hits are on chip and free, while stream-buffer hits
+    # were prefetched from DRAM — their bytes are charged as sequential
+    # traffic below.  Only *consumed* prefetches are charged (an idealized
+    # prefetch-bypass); the full fill traffic including wasted prefetches is
+    # reported on HierarchyResult.prefetch_fill_records.
+    prefetch_bytes = (
+        cache_result.miss_path.sequential_prefetch_bytes if cache_result.miss_path else 0
+    )
+    fetch_cycles = dram.sequential_transfer_cycles(
+        cache_result.sequential_fetch_bytes + prefetch_bytes
+    )
+    random_granule = max(
+        dram.random_access_granularity_bytes, feature_length * bytes_per_value
+    )
+    net_random_accesses = cache_result.net_random_accesses
+    net_random_bytes = cache_result.net_random_access_bytes
+    if cache_result.random_accesses_avoided:
+        dram.note_avoided_random_accesses(
+            cache_result.random_accesses_avoided, bytes_per_access=random_granule
+        )
     random_cycles = 0
-    if cache_result.random_accesses:
+    if net_random_accesses:
         random_cycles = dram.random_transfer_cycles(
-            cache_result.random_accesses,
-            bytes_per_access=max(
-                dram.random_access_granularity_bytes, feature_length * bytes_per_value
-            ),
+            net_random_accesses, bytes_per_access=random_granule
         )
 
     # Output-buffer partial sums: at the start of each Round the accumulators
@@ -148,7 +195,8 @@ def aggregation_phase_from_cache(
     # alpha_writeback_bytes.
     dram_read_bytes = (
         cache_result.sequential_fetch_bytes
-        + cache_result.random_access_bytes
+        + prefetch_bytes
+        + net_random_bytes
         + psum_spill_bytes // 2
     )
     dram_write_bytes = (
@@ -173,11 +221,12 @@ def aggregation_phase_from_cache(
         sfu_operations=int(sfu_ops),
         dram_read_bytes=int(dram_read_bytes),
         dram_write_bytes=int(dram_write_bytes),
-        dram_random_accesses=int(cache_result.random_accesses),
+        dram_random_accesses=int(net_random_accesses),
+        dram_random_accesses_avoided=int(cache_result.random_accesses_avoided),
         input_buffer_bytes=int(input_buffer_bytes),
         output_buffer_bytes=int(output_buffer_bytes),
         dram_input_stream_bytes=int(
-            cache_result.sequential_fetch_bytes + cache_result.random_access_bytes
+            cache_result.sequential_fetch_bytes + prefetch_bytes + net_random_bytes
         ),
         dram_output_stream_bytes=int(
             psum_spill_bytes + final_write_bytes + cache_result.alpha_writeback_bytes

@@ -21,13 +21,18 @@ Modeling notes
   aggregation runs at the input feature length.
 * DiffPool is simulated as its two constituent GCNs (embedding + pooling)
   plus the dense coarsening products Sᵀ A S and Sᵀ Z on the CPE array.
-* The cache-policy simulation depends only on the adjacency and the buffer
-  configuration, so it is run once per (graph, config) and shared across
-  layers; per-layer DRAM bytes are rescaled to the layer's feature length.
+* The cache-policy simulation is run once per (graph fingerprint, buffer
+  configuration) and deliberately shared across layers and GNN families as
+  an approximation: the layer feature length changes the per-vertex record
+  size (and hence the buffer's vertex capacity), but re-simulating per
+  width would dominate runtime, so the first caller's width sizes the sim
+  and later layers reuse it.
 """
 
 from __future__ import annotations
 
+import weakref
+import zlib
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -53,6 +58,19 @@ LATER_LAYER_DENSITY = 0.6
 _PREPROCESSING_OPS_PER_CYCLE = 8
 
 
+def _adjacency_fingerprint(adjacency: CSRGraph) -> tuple[int, int, int]:
+    """Stable content key for the per-(graph, config) cache-result memo.
+
+    ``id(adjacency)`` can alias a *different* graph once the original is
+    garbage collected, silently reusing a stale simulation; fingerprinting
+    the CSR content (vertex/edge counts plus a checksum over both arrays)
+    cannot.
+    """
+    checksum = zlib.crc32(np.ascontiguousarray(adjacency.indptr).tobytes())
+    checksum = zlib.crc32(np.ascontiguousarray(adjacency.indices).tobytes(), checksum)
+    return (adjacency.num_vertices, adjacency.num_edges, checksum)
+
+
 class GNNIESimulator:
     """Performance and energy simulator for GNNIE inference."""
 
@@ -66,7 +84,13 @@ class GNNIESimulator:
         self.config = config or AcceleratorConfig()
         self.energy_model = energy_model or EnergyModel()
         self.area_model = area_model or AreaModel()
-        self._cache_results: dict[tuple[int, int, int, bool], CacheSimulationResult] = {}
+        self._cache_results: dict[tuple, CacheSimulationResult] = {}
+        # id -> (weakref, fingerprint); weak references avoid pinning every
+        # simulated graph in memory, and a dead/realiased id is detected by
+        # the identity check on the dereferenced graph.
+        self._fingerprints: dict[
+            int, tuple[weakref.ref, tuple[int, int, int]]
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -280,15 +304,33 @@ class GNNIESimulator:
     def _cached_cache_result(
         self, adjacency: CSRGraph, cfg: AcceleratorConfig, feature_length: int
     ) -> CacheSimulationResult:
+        # feature_length is intentionally absent: one cache sim per (graph,
+        # buffer config) is shared across layers (see the modeling notes).
         key = (
-            id(adjacency),
+            self._fingerprint(adjacency),
             cfg.input_buffer_bytes,
             cfg.gamma,
             cfg.enable_degree_aware_caching,
+            cfg.miss_path_mechanisms,
+            cfg.victim_cache_entries,
+            cfg.miss_cache_entries,
+            cfg.stream_buffer_count,
+            cfg.stream_buffer_depth,
         )
         if key not in self._cache_results:
             self._cache_results[key] = run_cache_simulation(adjacency, cfg, feature_length)
         return self._cache_results[key]
+
+    def _fingerprint(self, adjacency: CSRGraph) -> tuple[int, int, int]:
+        """Per-instance memo of the O(E) content fingerprint."""
+        key = id(adjacency)
+        entry = self._fingerprints.get(key)
+        if entry is not None and entry[0]() is adjacency:
+            return entry[1]
+        fingerprint = _adjacency_fingerprint(adjacency)
+        self._fingerprints[key] = (weakref.ref(adjacency), fingerprint)
+        weakref.finalize(adjacency, self._fingerprints.pop, key, None)
+        return fingerprint
 
     @staticmethod
     def _overlap_layer_memory(layer: LayerResult) -> None:

@@ -174,3 +174,47 @@ def test_controller_completeness_property(num_vertices, num_edges, capacity, gam
     assert result.total_edges_processed == graph.num_edges // 2
     if result.alpha_round_snapshots:
         assert result.alpha_round_snapshots[-1].size == 0 or result.num_rounds >= 1
+
+
+class TestIncidentEdgesVectorization:
+    """Micro-assertion: the flat-gather incident_edges matches the old
+    per-vertex slice implementation on every query shape."""
+
+    @staticmethod
+    def _reference_incident_edges(index, vertices):
+        if vertices.size == 0:
+            return np.empty(0, dtype=np.int64)
+        pieces = [
+            index._sorted_edge_ids[index.indptr[v] : index.indptr[v + 1]]
+            for v in vertices
+        ]
+        return np.unique(np.concatenate(pieces)) if pieces else np.empty(0, dtype=np.int64)
+
+    def test_matches_reference_implementation(self, graph):
+        from repro.cache.controller import _UndirectedEdgeIndex
+
+        index = _UndirectedEdgeIndex(graph)
+        rng = np.random.default_rng(5)
+        queries = [
+            np.empty(0, dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.arange(graph.num_vertices, dtype=np.int64),
+            rng.choice(graph.num_vertices, size=37, replace=False).astype(np.int64),
+            rng.choice(graph.num_vertices, size=200, replace=False).astype(np.int64),
+        ]
+        for vertices in queries:
+            np.testing.assert_array_equal(
+                index.incident_edges(vertices),
+                self._reference_incident_edges(index, vertices),
+            )
+
+    def test_isolated_vertices_yield_no_edges(self):
+        # Vertex 3 has no incident edges at all.
+        adjacency = CSRGraph.from_edge_list(
+            [(0, 1), (1, 2)], num_vertices=4, symmetric=True
+        )
+        from repro.cache.controller import _UndirectedEdgeIndex
+
+        index = _UndirectedEdgeIndex(adjacency)
+        assert index.incident_edges(np.array([3], dtype=np.int64)).size == 0
+        assert index.incident_edges(np.array([1, 3], dtype=np.int64)).size == 2

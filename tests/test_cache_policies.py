@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.cache import (
@@ -10,7 +11,7 @@ from repro.cache import (
     simulate_mru_policy,
     simulate_static_partition_policy,
 )
-from repro.graph import power_law_graph
+from repro.graph import CSRGraph, power_law_graph
 
 
 @pytest.fixture(scope="module")
@@ -50,6 +51,51 @@ class TestClassicPolicies:
             simulate_lru_policy(graph, capacity_vertices=0)
         with pytest.raises(ValueError):
             simulate_static_partition_policy(graph, capacity_vertices=0)
+
+
+class TestEdgeCases:
+    """Degenerate buffer/graph shapes every policy must survive."""
+
+    def test_capacity_one_buffer(self, graph):
+        undirected = graph.num_edges // 2
+        for simulate in (
+            simulate_lru_policy,
+            simulate_mru_policy,
+            simulate_static_partition_policy,
+        ):
+            result = simulate(graph, capacity_vertices=1)
+            assert result.total_edges_processed == undirected
+            # A one-slot buffer cannot co-locate any endpoint pair, so every
+            # neighbor access that isn't a pinned hub misses.
+            assert result.random_accesses > 0
+            assert result.vertex_fetches == graph.num_vertices
+
+    def test_single_vertex_graph(self):
+        lonely = CSRGraph(indptr=np.array([0, 0]), indices=np.array([], dtype=np.int64))
+        for simulate in (
+            simulate_lru_policy,
+            simulate_mru_policy,
+            simulate_static_partition_policy,
+        ):
+            result = simulate(lonely, capacity_vertices=4)
+            assert result.total_edges_processed == 0
+            assert result.random_accesses == 0
+            assert result.vertex_fetches == 1
+
+    def test_pinned_set_at_least_capacity(self, graph):
+        # capacity 1 pins max(1, 1-1) = 1 vertex, so the pinned set fills the
+        # whole buffer and every unpinned vertex streams through the single
+        # fallback slot; the walk must still terminate and count every edge.
+        result = simulate_static_partition_policy(graph, capacity_vertices=1)
+        assert result.total_edges_processed == graph.num_edges // 2
+        assert result.random_accesses > 0
+
+    def test_pinned_set_larger_than_replaceable_capacity(self, graph):
+        # With capacity 2 the pinned hub occupies half the buffer; the other
+        # slot takes all streaming traffic.
+        small = simulate_static_partition_policy(graph, capacity_vertices=2)
+        large = simulate_static_partition_policy(graph, capacity_vertices=120)
+        assert small.random_accesses >= large.random_accesses
 
 
 class TestPolicyComparison:

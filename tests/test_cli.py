@@ -14,6 +14,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_cache_defaults(self):
+        args = build_parser().parse_args(["cache"])
+        assert args.dataset == "cora"
+        assert args.mechanism == "victim,miss,stream"
+        assert args.policy == "vertex_order"
+
+    def test_cache_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "--policy", "belady"])
+
     def test_simulate_defaults(self):
         args = build_parser().parse_args(["simulate"])
         assert args.dataset == "cora"
@@ -100,3 +118,39 @@ class TestCommands:
         assert main(["designs", "--dataset", "cora", "--model", "gcn", "--scale", "0.1"]) == 0
         output = capsys.readouterr().out
         assert "Design A" in output and "Design E" in output
+
+    def test_cache_command_per_mechanism_table(self, capsys):
+        assert main(["cache", "--dataset", "cora", "--mechanism", "victim,stream"]) == 0
+        output = capsys.readouterr().out
+        assert "Miss-path hierarchy" in output
+        assert "victim" in output and "stream" in output and "victim+stream" in output
+        assert "dram_random_avoided" in output and "hit_rate_pct" in output
+
+    def test_cache_command_all_policies(self, capsys):
+        assert (
+            main(
+                [
+                    "cache",
+                    "--dataset",
+                    "cora",
+                    "--scale",
+                    "0.2",
+                    "--policy",
+                    "all",
+                    "--mechanism",
+                    "stream",
+                    "--stream-buffers",
+                    "2",
+                    "--stream-depth",
+                    "32",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "degree_aware" in output and "vertex_order" in output
+        assert "mru" in output and "static_partition" in output
+
+    def test_cache_command_rejects_unknown_mechanism(self, capsys):
+        assert main(["cache", "--dataset", "cora", "--mechanism", "belady"]) == 2
+        assert "unknown mechanisms" in capsys.readouterr().err
