@@ -11,8 +11,12 @@ This package provides:
 * ``repro.hw`` / ``repro.mapping`` / ``repro.cache`` — the accelerator
   component models, the Weighting/Aggregation mapping policies and the
   caching policy,
-* ``repro.sim`` — the cycle/energy simulator (:class:`~repro.sim.GNNIESimulator`),
-* ``repro.baselines`` — PyG-CPU, PyG-GPU, HyGCN and AWB-GCN cost models,
+* ``repro.plan`` — the backend-neutral phase-op IR every family lowers to
+  and every backend executes,
+* ``repro.sim`` — the GNNIE plan executor and the cycle/energy simulator
+  wrapper (:class:`~repro.sim.GNNIESimulator`),
+* ``repro.baselines`` — PyG-CPU, PyG-GPU, HyGCN, AWB-GCN and EnGN cost
+  models, re-expressed as plan executors,
 * ``repro.analysis`` — helpers behind every reproduced figure and table.
 
 Quickstart::

@@ -7,8 +7,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.platform import PlatformModel, PlatformResult
-from repro.baselines.workload import estimate_workload
 from repro.graph.graph import Graph
+from repro.plan.lowering import lower
 from repro.sim.results import InferenceResult
 
 __all__ = ["SpeedupEntry", "compare_against_platform", "geometric_mean", "speedup_table"]
@@ -46,11 +46,9 @@ def compare_against_platform(
     *,
     out_features: int | None = None,
 ) -> SpeedupEntry:
-    """Evaluate one baseline platform on the same workload and form the ratio."""
-    workload = estimate_workload(
-        graph, gnnie_result.model.lower(), out_features=out_features
-    )
-    baseline: PlatformResult = platform.evaluate(graph, workload)
+    """Evaluate one baseline platform on the same plan and form the ratio."""
+    plan = lower(gnnie_result.model.lower(), graph, out_features=out_features)
+    baseline: PlatformResult = platform.execute(plan, graph)
     return SpeedupEntry(
         dataset=graph.name,
         model=gnnie_result.model,

@@ -1,12 +1,20 @@
-"""Common result type and base class for baseline platform cost models."""
+"""Common result type and base class for baseline platform cost models.
+
+Every platform model is also a plan *executor*
+(:class:`~repro.plan.executor.Executor`): :meth:`PlatformModel.execute`
+prices the same :class:`~repro.plan.ir.InferencePlan` the GNNIE simulator
+runs, via the shared :func:`~repro.baselines.workload.workload_from_plan`
+derivation, and applies the platform's roofline-style cost model to it.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from repro.baselines.workload import WorkloadEstimate
+from repro.baselines.workload import WorkloadEstimate, workload_from_plan
 from repro.graph.graph import Graph
+from repro.plan.ir import InferencePlan
 
 __all__ = ["PlatformResult", "PlatformModel"]
 
@@ -60,3 +68,14 @@ class PlatformModel(ABC):
             latency_seconds=latency,
             energy_joules=latency * self.power_watts(),
         )
+
+    def execute(
+        self, plan: InferencePlan, graph: Graph, config: object | None = None
+    ) -> PlatformResult:
+        """Executor protocol: price an inference plan on this platform.
+
+        ``config`` is accepted for protocol compatibility and ignored — the
+        baseline platforms model fixed published hardware.
+        """
+        del config
+        return self.evaluate(graph, workload_from_plan(plan, graph))

@@ -1,11 +1,15 @@
-"""Analytic per-layer workload estimation for the baseline platform models.
+"""Per-layer workload accounting derived from inference plans.
 
 The cross-platform comparisons (Figs. 12, 13, 15) need the *amount of work*
 each GNN performs on each dataset — dense and sparse-aware MAC counts for
 Weighting, scalar operation counts for Aggregation and attention, and the
 minimum DRAM traffic — without paying for a full functional forward pass on
-the larger graphs.  This module derives those counts from graph statistics
-and the Table III layer configuration, for both operation orders:
+the larger graphs.  Historically this module re-derived those counts from
+the family name in parallel with the simulation engine; it now *consumes*
+the same :class:`~repro.plan.ir.InferencePlan` the GNNIE executor runs, so
+every platform prices exactly one shared description of the workload.
+
+Both operation orders are accounted:
 
 * ``weighting_first`` (GNNIE, AWB-GCN): Aggregation runs on F_out-wide
   weighted features — Ã (H W),
@@ -22,11 +26,28 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.models.zoo import ModelConfig, model_config
+from repro.plan.ir import (
+    AdjacencyRef,
+    AggregationOp,
+    AttentionOp,
+    DenseMatmulOp,
+    InferencePlan,
+    PreprocessOp,
+    SampleOp,
+    WeightingOp,
+)
+from repro.plan.lowering import lower_model
 
-__all__ = ["LayerCosts", "WorkloadEstimate", "estimate_workload"]
+__all__ = [
+    "LayerCosts",
+    "WorkloadEstimate",
+    "estimate_workload",
+    "workload_from_plan",
+]
 
-#: Density modeled for post-ReLU hidden-layer features.
-HIDDEN_DENSITY = 0.6
+#: Density modeled for post-ReLU hidden-layer features (kept as an alias of
+#: the plan-IR constant for backwards compatibility).
+from repro.plan.ir import HIDDEN_DENSITY  # noqa: E402  (re-export)
 
 
 @dataclass(frozen=True)
@@ -85,66 +106,82 @@ class WorkloadEstimate:
         return self.total("dram_bytes")
 
 
-def estimate_workload(
-    graph: Graph,
-    family: str,
-    *,
-    out_features: int | None = None,
-    config: ModelConfig | None = None,
-) -> WorkloadEstimate:
-    """Estimate the per-layer operation counts for a GNN on a graph."""
-    cfg = config or model_config(family)
-    family_key = cfg.family.lower()
-    labels = out_features if out_features is not None else max(graph.num_label_classes, 2)
+def workload_from_plan(plan: InferencePlan, graph: Graph) -> WorkloadEstimate:
+    """Price an inference plan on a concrete graph, op by op.
+
+    This is the single workload derivation shared by all baseline platform
+    executors: every op contributes its analytic operation counts, resolved
+    against the graph's vertex/edge statistics.
+    """
     num_vertices = graph.num_vertices
     num_edges = graph.num_edges  # directed (2x undirected)
     input_nonzeros = int(np.count_nonzero(graph.features))
+    edge_counts: dict[AdjacencyRef, int] = {}
 
-    if family_key == "diffpool":
-        return _estimate_diffpool(graph, cfg, labels, input_nonzeros)
-
-    if family_key == "graphsage":
-        sampled_edges = int(np.minimum(graph.degrees(), cfg.sample_size or 25).sum())
-    else:
-        sampled_edges = num_edges
+    def resolve_edges(ref: AdjacencyRef) -> int:
+        if ref not in edge_counts:
+            if ref.kind == "sampled":
+                edge_counts[ref] = int(
+                    np.minimum(graph.degrees(), ref.sample_size or 25).sum()
+                )
+            else:
+                edge_counts[ref] = num_edges
+        return edge_counts[ref]
 
     layers: list[LayerCosts] = []
-    for index, (in_features, out_features_layer) in enumerate(
-        cfg.layer_dimensions(graph.feature_length, labels)
-    ):
-        if index == 0:
-            nonzeros = input_nonzeros
-        else:
-            nonzeros = int(round(HIDDEN_DENSITY * num_vertices * in_features))
-        dense_macs = num_vertices * in_features * out_features_layer
-        sparse_macs = nonzeros * out_features_layer
-        if family_key == "ginconv":
-            hidden = cfg.mlp_hidden or out_features_layer
-            dense_macs = num_vertices * (in_features * hidden + hidden * out_features_layer)
-            sparse_macs = nonzeros * hidden + num_vertices * hidden * out_features_layer
-        edges_for_layer = sampled_edges
-        aggregation_wf = (edges_for_layer + num_vertices) * out_features_layer
-        aggregation_af = (edges_for_layer + num_vertices) * in_features
-        if family_key == "ginconv":
-            # GIN aggregates raw features before the MLP in both orderings.
-            aggregation_wf = (edges_for_layer + num_vertices) * in_features
-            aggregation_af = aggregation_wf
-        attention_ops = 0
-        if family_key == "gat":
-            attention_ops = 2 * num_vertices * out_features_layer + 5 * edges_for_layer
-        sampling_ops = 0
-        if family_key == "graphsage":
-            sampling_ops = num_vertices * (cfg.sample_size or 25)
-        dram_bytes = (
-            (nonzeros if index == 0 else num_vertices * in_features)
-            + num_vertices * out_features_layer
-            + in_features * out_features_layer
-        )
+    for stage in plan.layers:
+        dense_macs = sparse_macs = 0
+        aggregation_wf = aggregation_af = 0
+        attention_ops = sampling_ops = 0
+        dram_bytes = 0
+        for op in stage.ops:
+            if isinstance(op, WeightingOp):
+                if op.density is None:
+                    nonzeros = input_nonzeros
+                else:
+                    nonzeros = int(round(op.density * num_vertices * op.in_features))
+                if op.mlp_hidden is not None:
+                    hidden = op.mlp_hidden
+                    dense_macs += num_vertices * (
+                        op.in_features * hidden + hidden * op.out_features
+                    )
+                    sparse_macs += (
+                        nonzeros * hidden + num_vertices * hidden * op.out_features
+                    )
+                else:
+                    dense_macs += num_vertices * op.in_features * op.out_features
+                    sparse_macs += nonzeros * op.out_features
+                dram_bytes += (
+                    (nonzeros if op.density is None else num_vertices * op.in_features)
+                    + num_vertices * op.out_features
+                    + op.in_features * op.out_features
+                )
+            elif isinstance(op, AggregationOp):
+                edges = resolve_edges(op.adjacency)
+                aggregation_wf += (edges + num_vertices) * op.width
+                aggregation_af += (edges + num_vertices) * op.in_features
+            elif isinstance(op, AttentionOp):
+                edges = resolve_edges(op.adjacency)
+                attention_ops += 2 * num_vertices * op.out_features + 5 * edges
+            elif isinstance(op, SampleOp):
+                sampling_ops += num_vertices * op.sample_size
+            elif isinstance(op, DenseMatmulOp):
+                macs = (
+                    num_edges * op.macs_per_edge + num_vertices * op.macs_per_vertex
+                )
+                dense_macs += macs
+                sparse_macs += macs
+                attention_ops += num_vertices * op.softmax_ops_per_vertex
+                dram_bytes += op.output_values
+            elif isinstance(op, PreprocessOp):
+                pass  # host-side work, not charged to the platforms
+            else:
+                raise TypeError(f"workload estimation cannot price op {op!r}")
         layers.append(
             LayerCosts(
-                layer_index=index,
-                in_features=in_features,
-                out_features=out_features_layer,
+                layer_index=stage.index,
+                in_features=stage.in_features,
+                out_features=stage.out_features,
                 dense_weighting_macs=int(dense_macs),
                 sparse_weighting_macs=int(sparse_macs),
                 aggregation_ops_weighting_first=int(aggregation_wf),
@@ -154,54 +191,22 @@ def estimate_workload(
                 dram_bytes=int(dram_bytes),
             )
         )
-    return WorkloadEstimate(dataset=graph.name, family=family_key, layers=tuple(layers))
+    return WorkloadEstimate(dataset=graph.name, family=plan.family, layers=tuple(layers))
 
 
-def _estimate_diffpool(
-    graph: Graph, cfg: ModelConfig, labels: int, input_nonzeros: int
+def estimate_workload(
+    graph: Graph,
+    family: str,
+    *,
+    out_features: int | None = None,
+    config: ModelConfig | None = None,
 ) -> WorkloadEstimate:
-    """DiffPool = embedding GCN + pooling GCN + coarsening products."""
-    num_vertices = graph.num_vertices
-    num_edges = graph.num_edges
-    hidden = cfg.hidden_features
-    clusters = max(2, hidden // 4)
-    in_features = graph.feature_length
+    """Estimate the per-layer operation counts for a GNN on a graph.
 
-    def gcn_layer(index: int, out_dim: int) -> LayerCosts:
-        dense = num_vertices * in_features * out_dim
-        sparse = input_nonzeros * out_dim
-        return LayerCosts(
-            layer_index=index,
-            in_features=in_features,
-            out_features=out_dim,
-            dense_weighting_macs=int(dense),
-            sparse_weighting_macs=int(sparse),
-            aggregation_ops_weighting_first=int((num_edges + num_vertices) * out_dim),
-            aggregation_ops_aggregation_first=int((num_edges + num_vertices) * in_features),
-            attention_ops=0,
-            sampling_ops=0,
-            dram_bytes=int(input_nonzeros + num_vertices * out_dim + in_features * out_dim),
-        )
-
-    coarsening_macs = (
-        num_edges * clusters
-        + num_vertices * clusters * clusters
-        + num_vertices * clusters * hidden
-    )
-    coarsening = LayerCosts(
-        layer_index=2,
-        in_features=clusters,
-        out_features=hidden,
-        dense_weighting_macs=int(coarsening_macs),
-        sparse_weighting_macs=int(coarsening_macs),
-        aggregation_ops_weighting_first=0,
-        aggregation_ops_aggregation_first=0,
-        attention_ops=int(num_vertices * clusters),
-        sampling_ops=0,
-        dram_bytes=int(clusters * (clusters + hidden)),
-    )
-    return WorkloadEstimate(
-        dataset=graph.name,
-        family="diffpool",
-        layers=(gcn_layer(0, hidden), gcn_layer(1, clusters), coarsening),
-    )
+    Compatibility wrapper: lowers the family to a plan and prices it with
+    :func:`workload_from_plan`.
+    """
+    cfg = config or model_config(family)
+    labels = out_features if out_features is not None else max(graph.num_label_classes, 2)
+    plan = lower_model(cfg, graph.feature_length, labels)
+    return workload_from_plan(plan, graph)

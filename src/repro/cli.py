@@ -11,9 +11,15 @@ Simulate one inference and print the per-phase report::
     python -m repro simulate --dataset cora --model gat
     python -m repro simulate --dataset pubmed --model gcn --design A --json
 
+Show the lowered phase-op program for one (dataset, model) pair::
+
+    python -m repro plan --dataset cora --model gat
+    python -m repro plan --dataset pubmed --model diffpool --json
+
 Compare GNNIE against the baseline platforms::
 
     python -m repro compare --dataset citeseer --model gcn
+    python -m repro compare --dataset citeseer --model gcn --json
 
 Sweep the named design points A–E::
 
@@ -29,6 +35,7 @@ behind the input buffer::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -46,6 +53,7 @@ from repro.cache import MissPathConfig, mechanism_names
 from repro.datasets import build_dataset, dataset_names, dataset_spec
 from repro.hw import AcceleratorConfig, design_preset
 from repro.models import MODEL_FAMILIES
+from repro.plan import lower
 from repro.sim import GNNIESimulator, input_buffer_capacity
 from repro.sim.trace import phase_table, result_to_json
 
@@ -73,8 +81,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate_parser.set_defaults(handler=_cmd_simulate)
 
+    plan_parser = subparsers.add_parser(
+        "plan", help="show the lowered phase-op program for a (dataset, model) pair"
+    )
+    _add_workload_arguments(plan_parser)
+    plan_parser.add_argument("--json", action="store_true", help="emit the plan as JSON")
+    plan_parser.set_defaults(handler=_cmd_plan)
+
     compare_parser = subparsers.add_parser("compare", help="compare against baseline platforms")
     _add_workload_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--json", action="store_true", help="emit the comparison rows as JSON"
+    )
     compare_parser.set_defaults(handler=_cmd_compare)
 
     designs_parser = subparsers.add_parser("designs", help="evaluate design points A-E")
@@ -203,34 +221,70 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    graph, _ = _load(args)
+    plan = lower(args.model, graph)
+    if args.json:
+        print(plan.to_json())
+        return 0
+    title = (
+        f"Inference plan: {plan.family.upper()} on {graph.name} "
+        f"({plan.num_layers} layers, {plan.in_features} -> {plan.out_features} features)"
+    )
+    print(format_table(plan.op_rows(), title=title))
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     graph, config = _load(args)
     result = GNNIESimulator(config).run(graph, args.model)
     platforms = [PyGCPUModel(), PyGGPUModel(), HyGCNModel(), AWBGCNModel(), EnGNModel()]
-    rows = []
+    rows = [
+        {
+            "platform": "GNNIE",
+            "supported": True,
+            "latency_ms": round(result.latency_seconds * 1e3, 4),
+            "speedup": 1.0,
+        }
+    ]
     for platform in platforms:
         if not platform.supports(args.model):
             rows.append(
-                {"platform": platform.name, "latency_ms": "unsupported", "speedup": "-"}
+                {
+                    "platform": platform.name,
+                    "supported": False,
+                    "latency_ms": None,
+                    "speedup": None,
+                }
             )
             continue
         entry = compare_against_platform(result, graph, platform)
         rows.append(
             {
                 "platform": platform.name,
+                "supported": True,
                 "latency_ms": round(entry.baseline_latency_s * 1e3, 4),
                 "speedup": round(entry.speedup, 2),
             }
         )
-    rows.insert(
-        0,
+    if args.json:
+        print(
+            json.dumps(
+                {"dataset": graph.name, "model": args.model.upper(), "rows": rows}, indent=2
+            )
+        )
+        return 0
+    table_rows = [
         {
-            "platform": "GNNIE",
-            "latency_ms": round(result.latency_seconds * 1e3, 4),
-            "speedup": 1.0,
-        },
+            "platform": row["platform"],
+            "latency_ms": row["latency_ms"] if row["supported"] else "unsupported",
+            "speedup": row["speedup"] if row["supported"] else "-",
+        }
+        for row in rows
+    ]
+    print(
+        format_table(table_rows, title=f"{args.model.upper()} on {graph.name}: GNNIE vs baselines")
     )
-    print(format_table(rows, title=f"{args.model.upper()} on {graph.name}: GNNIE vs baselines"))
     return 0
 
 

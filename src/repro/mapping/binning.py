@@ -70,29 +70,16 @@ class BlockAssignment:
         return int(self.row_nonzeros.sum())
 
 
-def _row_cycles_from_blocks(
-    block_nonzeros_per_row: list[np.ndarray], macs_per_row: tuple[int, ...]
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Cycle, nonzero and block-count totals per row.
+def _row_cycles(nonzeros: np.ndarray, macs_per_row: tuple[int, ...]) -> np.ndarray:
+    """Per-row cycle totals from per-row nonzero totals.
 
     A CPE pipelines blocks back to back ("immediately move on to a block
     from the next available subvector", Section IV-A), so the nonzero
     operands assigned to a row pack densely into its MAC slots: the row's
     cycle count is ``ceil(total nonzeros / MACs per CPE)``.
     """
-    num_rows = len(macs_per_row)
-    cycles = np.zeros(num_rows, dtype=np.int64)
-    nonzeros = np.zeros(num_rows, dtype=np.int64)
-    counts = np.zeros(num_rows, dtype=np.int64)
-    for row, blocks in enumerate(block_nonzeros_per_row):
-        if blocks.size == 0:
-            continue
-        macs = macs_per_row[row]
-        total = int(blocks.sum())
-        nonzeros[row] = total
-        cycles[row] = -(-total // macs)
-        counts[row] = int(blocks.size)
-    return nonzeros, cycles, counts
+    macs = np.asarray(macs_per_row, dtype=np.int64)
+    return -(-nonzeros // macs)
 
 
 def baseline_assignment(
@@ -107,21 +94,19 @@ def baseline_assignment(
     block_nonzeros = np.asarray(block_nonzeros, dtype=np.int64)
     if block_nonzeros.ndim != 2:
         raise ValueError("block_nonzeros must be (num_vertices, num_blocks)")
-    num_blocks = block_nonzeros.shape[1]
+    num_vertices, num_blocks = block_nonzeros.shape
     if num_blocks > config.num_rows:
         raise ValueError(
             f"{num_blocks} blocks exceed the {config.num_rows} CPE rows; "
             "the block size k must be ceil(F / num_rows)"
         )
-    macs_per_row = config.macs_per_row
-    per_row_blocks = [
-        block_nonzeros[:, block] if block < num_blocks else np.empty(0, dtype=np.int64)
-        for block in range(config.num_rows)
-    ]
-    nonzeros, cycles, counts = _row_cycles_from_blocks(per_row_blocks, macs_per_row)
+    nonzeros = np.zeros(config.num_rows, dtype=np.int64)
+    counts = np.zeros(config.num_rows, dtype=np.int64)
+    nonzeros[:num_blocks] = block_nonzeros.sum(axis=0)
+    counts[:num_blocks] = num_vertices
     return BlockAssignment(
         row_nonzeros=nonzeros,
-        row_cycles=cycles,
+        row_cycles=_row_cycles(nonzeros, config.macs_per_row),
         row_block_counts=counts,
         policy="baseline",
         preprocessing_operations=0,
@@ -145,8 +130,6 @@ def flexible_mac_assignment(
     if block_nonzeros.ndim != 2:
         raise ValueError("block_nonzeros must be (num_vertices, num_blocks)")
     flat = block_nonzeros.ravel()
-    macs_per_row = config.macs_per_row
-    num_groups = config.num_groups
     rows_per_group = config.rows_per_group
     group_macs = np.asarray(
         [macs * rows for macs, rows in zip(config.macs_per_group, rows_per_group)],
@@ -165,20 +148,23 @@ def flexible_mac_assignment(
     ).astype(np.int64)
     boundaries = np.maximum.accumulate(boundaries)
 
-    per_row_blocks: list[np.ndarray] = [np.empty(0, dtype=np.int64) for _ in range(config.num_rows)]
-    row_offset = 0
-    for group in range(num_groups):
-        group_blocks = sorted_nonzeros[boundaries[group] : boundaries[group + 1]]
-        rows = rows_per_group[group]
-        # Round-robin deal of the (sorted) blocks across the group's rows.
-        for local_row in range(rows):
-            per_row_blocks[row_offset + local_row] = group_blocks[local_row::rows]
-        row_offset += rows
+    # Round-robin deal of the (sorted) blocks across each group's rows,
+    # expressed as one gather: block ``i`` of group ``g`` lands on row
+    # ``row_start[g] + (i - boundaries[g]) % rows_per_group[g]``.
+    rows_array = np.asarray(rows_per_group, dtype=np.int64)
+    row_start = np.concatenate([[0], np.cumsum(rows_array)])[:-1]
+    indices = np.arange(flat.size, dtype=np.int64)
+    group_of_block = np.searchsorted(boundaries, indices, side="right") - 1
+    row_of_block = row_start[group_of_block] + (
+        indices - boundaries[group_of_block]
+    ) % rows_array[group_of_block]
 
-    nonzeros, cycles, counts = _row_cycles_from_blocks(per_row_blocks, macs_per_row)
+    nonzeros = np.zeros(config.num_rows, dtype=np.int64)
+    np.add.at(nonzeros, row_of_block, sorted_nonzeros)
+    counts = np.bincount(row_of_block, minlength=config.num_rows).astype(np.int64)
     return BlockAssignment(
         row_nonzeros=nonzeros,
-        row_cycles=cycles,
+        row_cycles=_row_cycles(nonzeros, config.macs_per_row),
         row_block_counts=counts,
         policy="flexible_mac",
         preprocessing_operations=int(flat.size),

@@ -16,6 +16,13 @@ from repro.models.gat import (
 from repro.models.gcn import GCNLayer
 from repro.models.ginconv import GINConvLayer, gin_graph_readout
 from repro.models.graphsage import GraphSAGELayer, NeighborSampler
+from repro.models.lowering import (
+    lower_diffpool,
+    lower_gat,
+    lower_gcn,
+    lower_ginconv,
+    lower_graphsage,
+)
 from repro.models.layers import (
     MLP,
     glorot_init,
@@ -84,4 +91,9 @@ __all__ = [
     "TABLE3_CONFIGS",
     "build_model",
     "model_config",
+    "lower_gcn",
+    "lower_gat",
+    "lower_graphsage",
+    "lower_ginconv",
+    "lower_diffpool",
 ]

@@ -1,0 +1,60 @@
+"""Executor protocol and backend registry.
+
+An *executor* consumes an :class:`~repro.plan.ir.InferencePlan` together
+with a concrete graph and returns that backend's result object — the GNNIE
+simulator produces an :class:`~repro.sim.results.InferenceResult`, the
+baseline platforms a :class:`~repro.baselines.platform.PlatformResult`.
+All built-in backends register here; ``executor("hygcn")`` is the supported
+way to obtain one by name::
+
+    from repro.plan import executor, lower
+
+    plan = lower("gcn", graph)
+    result = executor("gnnie").execute(plan, graph)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+__all__ = ["Executor", "register_executor", "executor", "executor_names"]
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run an inference plan on a graph."""
+
+    #: Registry / report name of the backend.
+    name: str
+
+    def execute(self, plan: Any, graph: Any, config: Any | None = None) -> Any:
+        """Execute ``plan`` on ``graph``; ``config`` overrides backend knobs."""
+
+
+_FACTORIES: dict[str, Callable[[], Executor]] = {}
+
+
+def register_executor(name: str, factory: Callable[[], Executor]) -> None:
+    """Register an executor factory under a backend name."""
+    _FACTORIES[name.strip().lower()] = factory
+
+
+def _ensure_builtin_executors() -> None:
+    """Import the built-in backends (they register on import)."""
+    import repro.baselines  # noqa: F401  (imported for side effect)
+    import repro.sim.gnnie_executor  # noqa: F401  (imported for side effect)
+
+
+def executor(name: str) -> Executor:
+    """Instantiate the executor registered under ``name``."""
+    _ensure_builtin_executors()
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise KeyError(f"no executor registered as {name!r}; known: {sorted(_FACTORIES)}")
+    return _FACTORIES[key]()
+
+
+def executor_names() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    _ensure_builtin_executors()
+    return tuple(sorted(_FACTORIES))

@@ -1,0 +1,95 @@
+"""Family → plan lowering registry.
+
+A *lowering rule* is a pure function ``(ModelConfig, in_features,
+out_features) → InferencePlan`` describing how one GNN family decomposes
+into phase ops.  The rules for the Table III families live in
+:mod:`repro.models.lowering`; they are imported lazily on first lookup so
+that ``repro.plan`` stays import-light and free of model dependencies.
+
+Registering a new family is one decorated function::
+
+    from repro.plan import register_lowering
+
+    @register_lowering("sgc")
+    def lower_sgc(cfg, in_features, out_features):
+        ...
+        return InferencePlan(...)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.plan.ir import InferencePlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.graph import Graph
+    from repro.models.zoo import ModelConfig
+
+__all__ = [
+    "register_lowering",
+    "lowering_rule",
+    "lowering_families",
+    "lower",
+    "lower_model",
+]
+
+LoweringRule = Callable[["ModelConfig", int, int], InferencePlan]
+
+_RULES: dict[str, LoweringRule] = {}
+
+
+def register_lowering(family: str) -> Callable[[LoweringRule], LoweringRule]:
+    """Decorator registering a lowering rule for ``family``."""
+
+    key = family.strip().lower()
+
+    def decorator(rule: LoweringRule) -> LoweringRule:
+        _RULES[key] = rule
+        return rule
+
+    return decorator
+
+
+def _ensure_builtin_rules() -> None:
+    """Import the Table III rules (registration happens at import time)."""
+    import repro.models.lowering  # noqa: F401  (imported for side effect)
+
+
+def lowering_rule(family: str) -> LoweringRule:
+    """Look up the lowering rule for a GNN family."""
+    _ensure_builtin_rules()
+    key = family.strip().lower()
+    if key not in _RULES:
+        raise KeyError(f"no lowering registered for {family!r}; known: {sorted(_RULES)}")
+    return _RULES[key]
+
+
+def lowering_families() -> tuple[str, ...]:
+    """Registered family names, sorted."""
+    _ensure_builtin_rules()
+    return tuple(sorted(_RULES))
+
+
+def lower_model(config: "ModelConfig", in_features: int, out_features: int) -> InferencePlan:
+    """Lower a model configuration for a dataset shape."""
+    return lowering_rule(config.family)(config, in_features, out_features)
+
+
+def lower(
+    family: str,
+    graph: "Graph",
+    *,
+    out_features: int | None = None,
+    config: "ModelConfig | None" = None,
+) -> InferencePlan:
+    """Lower ``family`` for a concrete dataset graph.
+
+    Convenience wrapper resolving the Table III configuration and the
+    dataset shape (feature length, label count) before calling the rule.
+    """
+    from repro.models.zoo import model_config
+
+    cfg = config if config is not None else model_config(family)
+    labels = out_features if out_features is not None else max(graph.num_label_classes, 2)
+    return lower_model(cfg, graph.feature_length, labels)

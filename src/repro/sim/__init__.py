@@ -14,12 +14,14 @@ from repro.sim.design_space import (
     sweep_mac_allocations,
 )
 from repro.sim.engine import LATER_LAYER_DENSITY, GNNIESimulator
+from repro.sim.gnnie_executor import GNNIEExecutor
 from repro.sim.trace import phase_table, result_to_dict, result_to_json, results_to_csv
 from repro.sim.results import InferenceResult, LayerResult, PhaseResult
 from repro.sim.weighting_sim import simulate_weighting, weighting_phase_from_schedule
 
 __all__ = [
     "GNNIESimulator",
+    "GNNIEExecutor",
     "DesignPoint",
     "sweep_designs",
     "sweep_mac_allocations",

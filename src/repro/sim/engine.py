@@ -1,74 +1,35 @@
-"""Top-level GNNIE inference simulator.
+"""Top-level GNNIE inference simulator (compatibility wrapper).
 
-:class:`GNNIESimulator` runs a whole GNN inference (all layers, both phases,
-preprocessing, DRAM traffic, energy) for one dataset graph, one GNN family
-from Table III, and one accelerator configuration.  It is the engine behind
-the headline comparisons (Figs. 12–15, Table IV) and the ablations
-(Figs. 16–18).
+:class:`GNNIESimulator` is the historical entry point for whole-inference
+simulation.  Since the plan-IR refactor it is a thin *lower-then-execute*
+wrapper: the GNN family is lowered to a backend-neutral
+:class:`~repro.plan.ir.InferencePlan` by the rules registered in
+:mod:`repro.models.lowering`, and the plan is run by the
+:class:`~repro.sim.gnnie_executor.GNNIEExecutor` per-op handlers.  This
+module contains no family-specific control flow — adding a GNN family is a
+new lowering rule, and adding a cost model is a new executor, neither of
+which touches this file.
 
-Modeling notes
---------------
-* Layer-1 Weighting uses the dataset's *actual* sparse feature matrix, so the
-  rabbit/turtle imbalance and the zero-skipping benefit are driven by real
-  per-block nonzero counts.  Later layers' features (post-ReLU activations)
-  are modeled with a fixed density (:data:`LATER_LAYER_DENSITY`), matching
-  the paper's observation that the RLC decoder is bypassed after layer 1.
-* GraphSAGE aggregates over a sampled neighborhood (25 neighbors, Table III);
-  the simulator builds the sampled subgraph with the pregenerated-stream
-  sampler and runs the cache policy on it, charging the sampling cost as
-  preprocessing.
-* GINConv aggregates raw features *before* its MLP, so its layer-1
-  aggregation runs at the input feature length.
-* DiffPool is simulated as its two constituent GCNs (embedding + pooling)
-  plus the dense coarsening products Sᵀ A S and Sᵀ Z on the CPE array.
-* The cache-policy simulation is run once per (graph fingerprint, buffer
-  configuration) and deliberately shared across layers and GNN families as
-  an approximation: the layer feature length changes the per-vertex record
-  size (and hence the buffer's vertex capacity), but re-simulating per
-  width would dominate runtime, so the first caller's width sizes the sim
-  and later layers reuse it.
+``repro.sim.design_space``, ``repro.analysis``, the CLI and the benchmark
+suite all flow through this wrapper unchanged.
 """
 
 from __future__ import annotations
 
-import weakref
-import zlib
-from dataclasses import dataclass, replace
-
-import numpy as np
-
-from repro.cache.policy import CacheSimulationResult
-from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.hw.config import AcceleratorConfig
-from repro.hw.energy import AreaModel, EnergyBreakdown, EnergyModel
-from repro.mapping.attention import schedule_attention
-from repro.models.graphsage import NeighborSampler
+from repro.hw.energy import AreaModel, EnergyModel
 from repro.models.zoo import ModelConfig, model_config
-from repro.sim.aggregation_sim import aggregation_phase_from_cache, run_cache_simulation
-from repro.sim.results import InferenceResult, LayerResult, PhaseResult
-from repro.sim.weighting_sim import simulate_weighting
+from repro.plan.ir import HIDDEN_DENSITY
+from repro.plan.lowering import lower_model
+from repro.sim.gnnie_executor import GNNIEExecutor
+from repro.sim.results import InferenceResult
 
 __all__ = ["GNNIESimulator", "LATER_LAYER_DENSITY"]
 
-#: Modeled nonzero density of post-ReLU hidden-layer features.
-LATER_LAYER_DENSITY = 0.6
-
-#: Throughput of the host-side preprocessing (degree binning), ops/cycle.
-_PREPROCESSING_OPS_PER_CYCLE = 8
-
-
-def _adjacency_fingerprint(adjacency: CSRGraph) -> tuple[int, int, int]:
-    """Stable content key for the per-(graph, config) cache-result memo.
-
-    ``id(adjacency)`` can alias a *different* graph once the original is
-    garbage collected, silently reusing a stale simulation; fingerprinting
-    the CSR content (vertex/edge counts plus a checksum over both arrays)
-    cannot.
-    """
-    checksum = zlib.crc32(np.ascontiguousarray(adjacency.indptr).tobytes())
-    checksum = zlib.crc32(np.ascontiguousarray(adjacency.indices).tobytes(), checksum)
-    return (adjacency.num_vertices, adjacency.num_edges, checksum)
+#: Backwards-compatible alias: modeled nonzero density of post-ReLU
+#: hidden-layer features (now owned by the plan IR).
+LATER_LAYER_DENSITY = HIDDEN_DENSITY
 
 
 class GNNIESimulator:
@@ -81,16 +42,26 @@ class GNNIESimulator:
         energy_model: EnergyModel | None = None,
         area_model: AreaModel | None = None,
     ) -> None:
-        self.config = config or AcceleratorConfig()
-        self.energy_model = energy_model or EnergyModel()
-        self.area_model = area_model or AreaModel()
-        self._cache_results: dict[tuple, CacheSimulationResult] = {}
-        # id -> (weakref, fingerprint); weak references avoid pinning every
-        # simulated graph in memory, and a dead/realiased id is detected by
-        # the identity check on the dereferenced graph.
-        self._fingerprints: dict[
-            int, tuple[weakref.ref, tuple[int, int, int]]
-        ] = {}
+        self._executor = GNNIEExecutor(
+            config, energy_model=energy_model, area_model=area_model
+        )
+
+    @property
+    def config(self) -> AcceleratorConfig:
+        return self._executor.config
+
+    @property
+    def energy_model(self) -> EnergyModel:
+        return self._executor.energy_model
+
+    @property
+    def area_model(self) -> AreaModel:
+        return self._executor.area_model
+
+    @property
+    def _cache_results(self) -> dict:
+        """Cache-simulation memo (shared across runs; see the executor)."""
+        return self._executor._cache_results
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -104,12 +75,12 @@ class GNNIESimulator:
         model_cfg: ModelConfig | None = None,
         out_features: int | None = None,
     ) -> InferenceResult:
-        """Simulate one full inference.
+        """Lower one GNN family for ``graph`` and execute the plan.
 
         Args:
             graph: Dataset graph (features + adjacency).
             family: GNN family name ("gcn", "gat", "graphsage", "ginconv",
-                "diffpool").
+                "diffpool", or any family with a registered lowering rule).
             config: Optional accelerator configuration override; defaults to
                 the simulator's configuration with the paper's per-dataset
                 input-buffer sizing applied.
@@ -117,270 +88,10 @@ class GNNIESimulator:
             out_features: Output width of the last layer (defaults to the
                 dataset's label count).
         """
-        cfg = (config or self.config).with_input_buffer_for(graph.name)
         mdl = model_cfg or model_config(family)
-        family_key = mdl.family.lower()
         labels = out_features if out_features is not None else max(graph.num_label_classes, 2)
-
-        if family_key == "diffpool":
-            layers = self._run_diffpool(graph, cfg, mdl, labels)
-        else:
-            layers = self._run_message_passing(graph, cfg, mdl, family_key, labels)
-        for layer in layers:
-            self._overlap_layer_memory(layer)
-
-        result = InferenceResult(
-            dataset=graph.name,
-            model=family_key.upper(),
-            config_name=cfg.name,
-            layers=layers,
-            frequency_hz=cfg.frequency_hz,
-            global_preprocessing_cycles=self._global_preprocessing_cycles(graph, cfg),
-        )
-        result.energy = self._energy(result, cfg)
-        return result
+        plan = lower_model(mdl, graph.feature_length, labels)
+        return self._executor.execute(plan, graph, config)
 
     def chip_area_mm2(self, config: AcceleratorConfig | None = None) -> float:
-        return self.area_model.chip_area_mm2(config or self.config)
-
-    # ------------------------------------------------------------------ #
-    # Layer builders
-    # ------------------------------------------------------------------ #
-    def _run_message_passing(
-        self,
-        graph: Graph,
-        cfg: AcceleratorConfig,
-        mdl: ModelConfig,
-        family: str,
-        labels: int,
-    ) -> list[LayerResult]:
-        dims = mdl.layer_dimensions(graph.feature_length, labels)
-        adjacency = self._aggregation_adjacency(graph, mdl, family)
-        layers: list[LayerResult] = []
-        for index, (in_features, out_features_layer) in enumerate(dims):
-            is_input_layer = index == 0
-            weighting, _ = self._weighting_phase(
-                graph, cfg, in_features, out_features_layer, is_input_layer, family
-            )
-            attention = None
-            if family == "gat":
-                attention = self._attention_phase(graph, cfg, out_features_layer)
-            aggregation_width = in_features if family == "ginconv" else out_features_layer
-            aggregation = self._aggregation_phase(
-                adjacency, cfg, aggregation_width, is_gat=family == "gat"
-            )
-            layers.append(
-                LayerResult(
-                    layer_index=index,
-                    in_features=in_features,
-                    out_features=out_features_layer,
-                    weighting=weighting,
-                    attention=attention,
-                    aggregation=aggregation,
-                )
-            )
-        return layers
-
-    def _run_diffpool(
-        self, graph: Graph, cfg: AcceleratorConfig, mdl: ModelConfig, labels: int
-    ) -> list[LayerResult]:
-        hidden = mdl.hidden_features
-        num_clusters = max(2, hidden // 4)
-        in_features = graph.feature_length
-        # Embedding GNN (GCN, F_in -> hidden) and pooling GNN (F_in -> C).
-        embed_weighting, _ = self._weighting_phase(graph, cfg, in_features, hidden, True, "gcn")
-        pool_weighting, _ = self._weighting_phase(
-            graph, cfg, in_features, num_clusters, True, "gcn"
-        )
-        embed_aggregation = self._aggregation_phase(graph.adjacency, cfg, hidden, is_gat=False)
-        pool_aggregation = self._aggregation_phase(
-            graph.adjacency, cfg, num_clusters, is_gat=False
-        )
-        coarsening = self._coarsening_phase(graph, cfg, hidden, num_clusters)
-        layers = [
-            LayerResult(0, in_features, hidden, embed_weighting, None, embed_aggregation),
-            LayerResult(1, in_features, num_clusters, pool_weighting, None, pool_aggregation),
-            LayerResult(2, num_clusters, hidden, coarsening, None, PhaseResult("aggregation")),
-        ]
-        return layers
-
-    # ------------------------------------------------------------------ #
-    # Phase builders
-    # ------------------------------------------------------------------ #
-    def _weighting_phase(
-        self,
-        graph: Graph,
-        cfg: AcceleratorConfig,
-        in_features: int,
-        out_features: int,
-        is_input_layer: bool,
-        family: str,
-    ) -> tuple[PhaseResult, object]:
-        if is_input_layer and in_features == graph.feature_length:
-            return simulate_weighting(
-                cfg,
-                out_features,
-                features=graph.features,
-                is_input_layer=True,
-            )
-        # Later layers: statistical block nonzeros at the modeled density.
-        block_size = -(-in_features // cfg.num_rows)
-        num_blocks = -(-in_features // block_size)
-        per_block = int(round(LATER_LAYER_DENSITY * block_size))
-        block_nonzeros = np.full((graph.num_vertices, num_blocks), per_block, dtype=np.int64)
-        return simulate_weighting(
-            cfg,
-            out_features,
-            block_nonzeros=block_nonzeros,
-            in_features=in_features,
-            is_input_layer=False,
-        )
-
-    def _attention_phase(
-        self, graph: Graph, cfg: AcceleratorConfig, out_features: int
-    ) -> PhaseResult:
-        schedule = schedule_attention(graph.num_vertices, out_features, cfg)
-        return PhaseResult(
-            name="attention",
-            compute_cycles=schedule.compute_cycles,
-            mac_operations=schedule.total_macs,
-            dram_write_bytes=schedule.output_bytes,
-            dram_output_stream_bytes=schedule.output_bytes,
-            output_buffer_bytes=schedule.output_bytes,
-        )
-
-    def _aggregation_phase(
-        self,
-        adjacency: CSRGraph,
-        cfg: AcceleratorConfig,
-        feature_length: int,
-        *,
-        is_gat: bool,
-    ) -> PhaseResult:
-        cache_result = self._cached_cache_result(adjacency, cfg, feature_length)
-        return aggregation_phase_from_cache(
-            cache_result, adjacency, cfg, feature_length, is_gat=is_gat
-        )
-
-    def _coarsening_phase(
-        self, graph: Graph, cfg: AcceleratorConfig, hidden: int, num_clusters: int
-    ) -> PhaseResult:
-        """Dense coarsening products of DiffPool (Sᵀ A S and Sᵀ Z)."""
-        num_vertices = graph.num_vertices
-        num_edges = graph.num_edges
-        macs = (
-            num_edges * num_clusters
-            + num_vertices * num_clusters * num_clusters
-            + num_vertices * num_clusters * hidden
-        )
-        compute_cycles = int(np.ceil(macs / cfg.total_macs))
-        softmax_ops = num_vertices * num_clusters
-        output_bytes = num_clusters * (num_clusters + hidden) * cfg.bytes_per_value
-        return PhaseResult(
-            name="weighting",
-            compute_cycles=compute_cycles,
-            sfu_cycles=int(np.ceil(softmax_ops / (4 * cfg.num_rows))),
-            mac_operations=int(macs),
-            sfu_operations=int(softmax_ops),
-            dram_write_bytes=int(output_bytes),
-            dram_output_stream_bytes=int(output_bytes),
-            output_buffer_bytes=int(output_bytes),
-        )
-
-    # ------------------------------------------------------------------ #
-    # Helpers
-    # ------------------------------------------------------------------ #
-    def _aggregation_adjacency(
-        self, graph: Graph, mdl: ModelConfig, family: str
-    ) -> CSRGraph:
-        if family != "graphsage":
-            return graph.adjacency
-        sampler = NeighborSampler(seed=graph.num_vertices)
-        sampled_edges = sampler.sample_edges(graph.adjacency, mdl.sample_size or 25)
-        return CSRGraph.from_edge_list(
-            sampled_edges, num_vertices=graph.num_vertices, symmetric=True
-        )
-
-    def _cached_cache_result(
-        self, adjacency: CSRGraph, cfg: AcceleratorConfig, feature_length: int
-    ) -> CacheSimulationResult:
-        # feature_length is intentionally absent: one cache sim per (graph,
-        # buffer config) is shared across layers (see the modeling notes).
-        key = (
-            self._fingerprint(adjacency),
-            cfg.input_buffer_bytes,
-            cfg.gamma,
-            cfg.enable_degree_aware_caching,
-            cfg.miss_path_mechanisms,
-            cfg.victim_cache_entries,
-            cfg.miss_cache_entries,
-            cfg.stream_buffer_count,
-            cfg.stream_buffer_depth,
-        )
-        if key not in self._cache_results:
-            self._cache_results[key] = run_cache_simulation(adjacency, cfg, feature_length)
-        return self._cache_results[key]
-
-    def _fingerprint(self, adjacency: CSRGraph) -> tuple[int, int, int]:
-        """Per-instance memo of the O(E) content fingerprint."""
-        key = id(adjacency)
-        entry = self._fingerprints.get(key)
-        if entry is not None and entry[0]() is adjacency:
-            return entry[1]
-        fingerprint = _adjacency_fingerprint(adjacency)
-        self._fingerprints[key] = (weakref.ref(adjacency), fingerprint)
-        weakref.finalize(adjacency, self._fingerprints.pop, key, None)
-        return fingerprint
-
-    @staticmethod
-    def _overlap_layer_memory(layer: LayerResult) -> None:
-        """Re-derive exposed memory stalls at layer granularity.
-
-        The memory access scheduler prefetches streaming traffic (feature
-        blocks, weight columns, cached-vertex records, partial-sum spills)
-        while any phase of the layer computes, so only the traffic exceeding
-        the layer's total busy time is exposed.  Random accesses (present
-        only in the ablation baselines) cannot be prefetched and stay fully
-        exposed where the phase charged them.
-        """
-        phases = layer.phases()
-        busy = sum(p.compute_cycles + p.sfu_cycles + p.preprocessing_cycles for p in phases)
-        streaming = sum(p.streaming_memory_cycles for p in phases)
-        random_stalls = sum(
-            max(0, p.memory_stall_cycles - max(0, p.streaming_memory_cycles -
-                (p.compute_cycles + p.sfu_cycles)))
-            for p in phases
-            if p.dram_random_accesses
-        )
-        exposed = max(0, streaming - busy)
-        for phase in phases:
-            phase.memory_stall_cycles = 0
-        # Attribute the layer's exposed stall (plus unhideable random-access
-        # stalls) to the aggregation phase, which is where the traffic peaks.
-        layer.aggregation.memory_stall_cycles = int(exposed + random_stalls)
-
-    def _global_preprocessing_cycles(self, graph: Graph, cfg: AcceleratorConfig) -> int:
-        """Degree-based vertex reordering (binning), charged once per inference."""
-        if not cfg.enable_degree_aware_caching:
-            return 0
-        return int(np.ceil(graph.num_vertices / _PREPROCESSING_OPS_PER_CYCLE))
-
-    def _energy(self, result: InferenceResult, cfg: AcceleratorConfig) -> EnergyBreakdown:
-        model = self.energy_model
-        breakdown = EnergyBreakdown()
-        for layer in result.layers:
-            for phase in layer.phases():
-                breakdown.mac_pj += model.mac_energy(phase.mac_operations)
-                breakdown.sfu_pj += model.sfu_energy(phase.sfu_operations)
-                breakdown.input_buffer_pj += model.buffer_energy("input", phase.input_buffer_bytes)
-                breakdown.output_buffer_pj += model.buffer_energy(
-                    "output", phase.output_buffer_bytes
-                )
-                breakdown.weight_buffer_pj += model.buffer_energy(
-                    "weight", phase.weight_buffer_bytes
-                )
-                breakdown.dram_input_pj += model.dram_energy(phase.dram_input_stream_bytes)
-                breakdown.dram_weight_pj += model.dram_energy(phase.dram_weight_stream_bytes)
-                breakdown.dram_output_pj += model.dram_energy(phase.dram_output_stream_bytes)
-        breakdown.static_pj = model.static_energy(result.total_cycles, cfg.frequency_hz)
-        return breakdown
+        return self._executor.chip_area_mm2(config)

@@ -1,0 +1,47 @@
+"""Regenerate the golden equivalence snapshots.
+
+Each snapshot is the full JSON report of one ``GNNIESimulator`` inference for
+one (dataset, family) pair.  They were dumped from the pre-plan-IR engine
+(commit adae848) and pin the refactored lower-then-execute path to the
+original behaviour: ``tests/test_plan_golden.py`` fails if any cycle, byte or
+energy number drifts.
+
+Run from the repository root to regenerate after an *intentional* model
+change::
+
+    PYTHONPATH=src python tests/golden/generate_golden.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.datasets import build_dataset
+from repro.models import MODEL_FAMILIES
+from repro.sim import GNNIESimulator
+from repro.sim.trace import result_to_json
+
+#: (dataset, scale, seed) triples simulated for every family.  Scaled-down
+#: stand-ins keep the 15 simulations fast enough for the tier-1 suite.
+GOLDEN_DATASETS = (
+    ("cora", 0.25, 1),
+    ("citeseer", 0.25, 1),
+    ("pubmed", 0.1, 1),
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def main() -> None:
+    for dataset, scale, seed in GOLDEN_DATASETS:
+        graph = build_dataset(dataset, scale=scale, seed=seed)
+        simulator = GNNIESimulator()
+        for family in MODEL_FAMILIES:
+            result = simulator.run(graph, family)
+            path = GOLDEN_DIR / f"{dataset}_{family}.json"
+            path.write_text(result_to_json(result) + "\n")
+            print(f"wrote {path.name}: {result.total_cycles} cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -104,10 +104,61 @@ class TestCommands:
         assert "Roofline classification" in output
         assert "compute-bound fraction" in output
 
+    def test_plan_command_table(self, capsys):
+        assert main(["plan", "--dataset", "cora", "--model", "gat", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "Inference plan: GAT" in output
+        assert "WeightingOp" in output and "AttentionOp" in output and "AggregationOp" in output
+        assert "preprocess(degree_binning)" in output
+
+    def test_plan_command_json(self, capsys):
+        assert (
+            main(["plan", "--dataset", "cora", "--model", "diffpool", "--scale", "0.1", "--json"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["family"] == "diffpool"
+        assert len(document["layers"]) == 3
+        assert document["layers"][2]["ops"][0]["op"] == "DenseMatmulOp"
+
+    def test_plan_command_every_family(self, capsys):
+        from repro.models import MODEL_FAMILIES
+
+        for family in MODEL_FAMILIES:
+            assert main(["plan", "--dataset", "cora", "--model", family, "--scale", "0.1"]) == 0
+        assert "Inference plan" in capsys.readouterr().out
+
     def test_compare_command(self, capsys):
         assert main(["compare", "--dataset", "cora", "--model", "gcn", "--scale", "0.1"]) == 0
         output = capsys.readouterr().out
         assert "PyG-CPU" in output and "AWB-GCN" in output and "EnGN" in output
+
+    def test_compare_command_json(self, capsys):
+        assert (
+            main(["compare", "--dataset", "cora", "--model", "gcn", "--scale", "0.1", "--json"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["model"] == "GCN"
+        platforms = [row["platform"] for row in document["rows"]]
+        assert platforms[0] == "GNNIE" and "EnGN" in platforms
+        assert all(row["supported"] for row in document["rows"])
+        assert all(row["speedup"] >= 1.0 for row in document["rows"])
+
+    def test_compare_command_json_unsupported_platforms_stay_typed(self, capsys):
+        assert (
+            main(["compare", "--dataset", "cora", "--model", "gat", "--scale", "0.1", "--json"])
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)["rows"]
+        unsupported = [row for row in rows if not row["supported"]]
+        assert {row["platform"] for row in unsupported} == {"HyGCN", "AWB-GCN", "EnGN"}
+        # Numeric fields are null, never placeholder strings, so consumers
+        # can aggregate without type checks.
+        assert all(row["latency_ms"] is None and row["speedup"] is None for row in unsupported)
+        assert all(
+            isinstance(row["speedup"], float) for row in rows if row["supported"]
+        )
 
     def test_compare_marks_unsupported_platforms(self, capsys):
         assert main(["compare", "--dataset", "cora", "--model", "gat", "--scale", "0.1"]) == 0

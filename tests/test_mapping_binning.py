@@ -98,6 +98,70 @@ class TestFlexibleMacAssignment:
         )
 
 
+def _reference_flexible_mac(block_nonzeros, config):
+    """Pre-vectorization per-row Python-loop packing, kept as the oracle."""
+    flat = np.asarray(block_nonzeros, dtype=np.int64).ravel()
+    group_macs = np.asarray(
+        [macs * rows for macs, rows in zip(config.macs_per_group, config.rows_per_group)],
+        dtype=np.float64,
+    )
+    order = np.argsort(flat, kind="stable")
+    sorted_nonzeros = flat[order]
+    cumulative_work = np.cumsum(sorted_nonzeros.astype(np.float64))
+    total_work = float(cumulative_work[-1]) if cumulative_work.size else 0.0
+    targets = np.cumsum(group_macs / group_macs.sum())[:-1] * total_work
+    boundaries = np.concatenate(
+        [[0], np.searchsorted(cumulative_work, targets, side="left"), [flat.size]]
+    ).astype(np.int64)
+    boundaries = np.maximum.accumulate(boundaries)
+    per_row_blocks = [np.empty(0, dtype=np.int64) for _ in range(config.num_rows)]
+    row_offset = 0
+    for group, rows in enumerate(config.rows_per_group):
+        group_blocks = sorted_nonzeros[boundaries[group] : boundaries[group + 1]]
+        for local_row in range(rows):
+            per_row_blocks[row_offset + local_row] = group_blocks[local_row::rows]
+        row_offset += rows
+    nonzeros = np.array([int(blocks.sum()) for blocks in per_row_blocks], dtype=np.int64)
+    counts = np.array([blocks.size for blocks in per_row_blocks], dtype=np.int64)
+    cycles = np.array(
+        [
+            -(-int(blocks.sum()) // macs) if blocks.size else 0
+            for blocks, macs in zip(per_row_blocks, config.macs_per_row)
+        ],
+        dtype=np.int64,
+    )
+    return nonzeros, cycles, counts
+
+
+class TestVectorizedPackingUnchanged:
+    """Micro-assertions: the NumPy-gather packing equals the loop oracle."""
+
+    @pytest.mark.parametrize("config", [AcceleratorConfig(), design_preset("D")])
+    def test_fm_packing_matches_reference(self, skewed_blocks, config):
+        assignment = flexible_mac_assignment(skewed_blocks, config)
+        nonzeros, cycles, counts = _reference_flexible_mac(skewed_blocks, config)
+        np.testing.assert_array_equal(assignment.row_nonzeros, nonzeros)
+        np.testing.assert_array_equal(assignment.row_cycles, cycles)
+        np.testing.assert_array_equal(assignment.row_block_counts, counts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vertices=st.integers(min_value=1, max_value=120),
+        blocks=st.integers(min_value=1, max_value=16),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_fm_packing_matches_reference_property(self, vertices, blocks, density, seed):
+        rng = np.random.default_rng(seed)
+        block_nonzeros = rng.binomial(20, density, size=(vertices, blocks)).astype(np.int64)
+        config = AcceleratorConfig()
+        assignment = flexible_mac_assignment(block_nonzeros, config)
+        nonzeros, cycles, counts = _reference_flexible_mac(block_nonzeros, config)
+        np.testing.assert_array_equal(assignment.row_nonzeros, nonzeros)
+        np.testing.assert_array_equal(assignment.row_cycles, cycles)
+        np.testing.assert_array_equal(assignment.row_block_counts, counts)
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     vertices=st.integers(min_value=1, max_value=200),

@@ -1,0 +1,118 @@
+"""Equivalence snapshots: the plan-IR path must reproduce the old engine.
+
+The JSON reports under ``tests/golden/`` were dumped from the pre-refactor
+``GNNIESimulator`` (direct family branches in the engine) for all five
+families on three datasets; ``baseline_platforms.json`` snapshots the old
+family-switch workload estimator and the five platform cost models.  The
+lower-then-execute path must match them exactly (integers) or to 1e-9
+relative tolerance (energy/latency floats).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.baselines import (
+    AWBGCNModel,
+    EnGNModel,
+    HyGCNModel,
+    PyGCPUModel,
+    PyGGPUModel,
+    estimate_workload,
+)
+from repro.datasets import build_dataset
+from repro.models import MODEL_FAMILIES
+from repro.plan import lower
+from repro.sim import GNNIESimulator
+from repro.sim.trace import result_to_dict
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+GOLDEN_DATASETS = (("cora", 0.25, 1), ("citeseer", 0.25, 1), ("pubmed", 0.1, 1))
+_WORKLOAD_TOTALS = (
+    "dense_weighting_macs",
+    "sparse_weighting_macs",
+    "aggregation_ops",
+    "aggregation_ops_aggregation_first",
+    "attention_ops",
+    "sampling_ops",
+    "dram_bytes",
+)
+
+
+@pytest.fixture(scope="module")
+def golden_graphs():
+    return {
+        dataset: build_dataset(dataset, scale=scale, seed=seed)
+        for dataset, scale, seed in GOLDEN_DATASETS
+    }
+
+
+def _assert_close(got, want, path=""):
+    """Exact match for ints/strings, 1e-9 relative tolerance for floats."""
+    if isinstance(want, dict):
+        assert isinstance(got, dict), f"{path}: {got!r} != {want!r}"
+        assert set(got) == set(want), f"{path}: keys {set(got) ^ set(want)}"
+        for key in want:
+            _assert_close(got[key], want[key], f"{path}.{key}")
+    elif isinstance(want, list):
+        assert isinstance(got, list) and len(got) == len(want), f"{path}: length"
+        for index, (g, w) in enumerate(zip(got, want)):
+            _assert_close(g, w, f"{path}[{index}]")
+    elif isinstance(want, float) and not isinstance(want, bool):
+        assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-12), (
+            f"{path}: {got!r} != {want!r}"
+        )
+    else:
+        assert got == want, f"{path}: {got!r} != {want!r}"
+
+
+class TestGNNIEGoldenEquivalence:
+    @pytest.mark.parametrize("dataset", [name for name, _, _ in GOLDEN_DATASETS])
+    def test_all_families_match_snapshot(self, dataset, golden_graphs):
+        graph = golden_graphs[dataset]
+        # One fresh simulator per dataset, families in registry order — the
+        # exact protocol generate_golden.py used, so the shared cache-sim
+        # memo is primed identically.
+        simulator = GNNIESimulator()
+        for family in MODEL_FAMILIES:
+            got = result_to_dict(simulator.run(graph, family))
+            want = json.loads((GOLDEN_DIR / f"{dataset}_{family}.json").read_text())
+            _assert_close(got, want, f"{dataset}/{family}")
+
+
+class TestBaselineGoldenEquivalence:
+    @pytest.fixture(scope="class")
+    def snapshot(self):
+        return json.loads((GOLDEN_DIR / "baseline_platforms.json").read_text())
+
+    @pytest.fixture(scope="class")
+    def platforms(self):
+        return (PyGCPUModel(), PyGGPUModel(), HyGCNModel(), AWBGCNModel(), EnGNModel())
+
+    @pytest.mark.parametrize("family", MODEL_FAMILIES)
+    @pytest.mark.parametrize("dataset", [name for name, _, _ in GOLDEN_DATASETS])
+    def test_workload_and_platforms_match_snapshot(
+        self, dataset, family, golden_graphs, snapshot, platforms
+    ):
+        graph = golden_graphs[dataset]
+        entry = snapshot[f"{dataset}_{family}"]
+        workload = estimate_workload(graph, family)
+        for attribute in _WORKLOAD_TOTALS:
+            assert getattr(workload, attribute) == entry[attribute], attribute
+        plan = lower(family, graph)
+        for platform in platforms:
+            if not platform.supports(family):
+                assert platform.name not in entry["platforms"]
+                continue
+            result = platform.execute(plan, graph)
+            want = entry["platforms"][platform.name]
+            assert math.isclose(
+                result.latency_seconds, want["latency_seconds"], rel_tol=1e-9
+            )
+            assert math.isclose(
+                result.energy_joules, want["energy_joules"], rel_tol=1e-9
+            )
