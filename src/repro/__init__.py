@@ -17,6 +17,8 @@ This package provides:
   wrapper (:class:`~repro.sim.GNNIESimulator`),
 * ``repro.baselines`` — PyG-CPU, PyG-GPU, HyGCN, AWB-GCN and EnGN cost
   models, re-expressed as plan executors,
+* ``repro.sweep`` — the parallel scenario-matrix runner with its resumable
+  result store (``python -m repro sweep``),
 * ``repro.analysis`` — helpers behind every reproduced figure and table.
 
 Quickstart::

@@ -15,6 +15,14 @@ from repro.analysis.speedup import (
     geometric_mean,
     speedup_table,
 )
+from repro.analysis.sweep_aggregate import (
+    backend_geomeans,
+    design_points_from_rows,
+    geomean_table_rows,
+    load_rows,
+    pareto_rows,
+    speedup_rows,
+)
 from repro.analysis.workload import (
     RowWorkloadProfile,
     beta_metric,
@@ -37,6 +45,12 @@ __all__ = [
     "compare_against_platform",
     "geometric_mean",
     "speedup_table",
+    "backend_geomeans",
+    "design_points_from_rows",
+    "geomean_table_rows",
+    "load_rows",
+    "pareto_rows",
+    "speedup_rows",
     "RowWorkloadProfile",
     "weighting_row_profile",
     "beta_metric",

@@ -1,0 +1,148 @@
+"""Store-backed aggregation over scenario-sweep result rows.
+
+A finished sweep leaves one JSONL row per (dataset, family, backend,
+config) cell in its :class:`~repro.sweep.store.ResultStore`.  This module
+turns those rows back into the repo's analysis vocabulary without re-running
+any simulation:
+
+* :func:`design_points_from_rows` / :func:`pareto_rows` — rebuild
+  :class:`~repro.sim.design_space.DesignPoint` objects from GNNIE rows and
+  reuse :func:`~repro.sim.design_space.pareto_front` for the latency/area
+  front of a configuration sweep,
+* :func:`speedup_rows` / :func:`backend_geomeans` — GNNIE-relative speedups
+  per (dataset, family) and the per-backend geometric means the paper
+  headlines (Figs. 12–13), via :func:`~repro.analysis.speedup.geometric_mean`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.analysis.speedup import geometric_mean
+from repro.sim.design_space import DesignPoint, pareto_front
+from repro.sweep.matrix import config_from_dict
+from repro.sweep.store import ResultStore
+
+__all__ = [
+    "load_rows",
+    "design_points_from_rows",
+    "pareto_rows",
+    "speedup_rows",
+    "backend_geomeans",
+    "geomean_table_rows",
+]
+
+
+def load_rows(store: ResultStore | str | os.PathLike) -> list[dict]:
+    """All rows of a result store (accepts a store object or its path)."""
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return list(store.rows())
+
+
+def _gnnie_rows(rows: Iterable[dict]) -> list[dict]:
+    return [
+        row
+        for row in rows
+        if row["backend"] == "gnnie" and row["supported"] and row["metrics"] is not None
+    ]
+
+
+def design_points_from_rows(rows: Iterable[dict]) -> list[DesignPoint]:
+    """Rebuild design points from the GNNIE rows of a sweep.
+
+    The row's serialized configuration round-trips back into an
+    :class:`~repro.hw.config.AcceleratorConfig`, so downstream consumers
+    (β studies, Pareto extraction) see the same objects a live
+    :func:`~repro.sim.design_space.sweep_designs` call would produce.
+    """
+    points: list[DesignPoint] = []
+    for row in _gnnie_rows(rows):
+        config = config_from_dict(row["config"])
+        metrics = row["metrics"]
+        points.append(
+            DesignPoint(
+                name=config.name,
+                config=config,
+                total_macs=metrics["total_macs"],
+                area_mm2=metrics["area_mm2"],
+                cycles=metrics["cycles"],
+                latency_seconds=metrics["latency_seconds"],
+                energy_joules=metrics["energy_joules"],
+            )
+        )
+    return points
+
+
+def pareto_rows(rows: Iterable[dict]) -> list[DesignPoint]:
+    """Latency/area Pareto-optimal designs among a sweep's GNNIE rows."""
+    return pareto_front(design_points_from_rows(rows))
+
+
+def speedup_rows(rows: Iterable[dict]) -> list[dict]:
+    """GNNIE-relative speedup and energy-gain per (dataset, family, backend).
+
+    For every (dataset, family, config) with a GNNIE row, each supported
+    baseline row becomes one entry: ``speedup`` is baseline latency over
+    GNNIE latency, ``energy_gain`` the same ratio for energy — the
+    quantities plotted in Figs. 12, 13 and 15.
+    """
+    rows = list(rows)
+    gnnie = {
+        (row["dataset"], row["family"], row["config_name"]): row["metrics"]
+        for row in _gnnie_rows(rows)
+    }
+    entries: list[dict] = []
+    for row in rows:
+        if row["backend"] == "gnnie" or not row["supported"]:
+            continue
+        reference = gnnie.get((row["dataset"], row["family"], row["config_name"]))
+        if reference is None or reference["latency_seconds"] <= 0:
+            continue
+        metrics = row["metrics"]
+        entries.append(
+            {
+                "dataset": row["dataset"],
+                "family": row["family"],
+                "backend": row["backend"],
+                "speedup": metrics["latency_seconds"] / reference["latency_seconds"],
+                "energy_gain": (
+                    metrics["energy_joules"] / reference["energy_joules"]
+                    if reference["energy_joules"] > 0
+                    else float("inf")
+                ),
+            }
+        )
+    return entries
+
+
+def backend_geomeans(rows: Iterable[dict]) -> dict[str, dict[str, float]]:
+    """Per-backend geometric-mean speedup/energy-gain across all cells."""
+    entries = speedup_rows(rows)
+    backends = sorted({entry["backend"] for entry in entries})
+    return {
+        backend: {
+            "geomean_speedup": geometric_mean(
+                [e["speedup"] for e in entries if e["backend"] == backend]
+            ),
+            "geomean_energy_gain": geometric_mean(
+                [e["energy_gain"] for e in entries if e["backend"] == backend]
+            ),
+            "cells": sum(1 for e in entries if e["backend"] == backend),
+        }
+        for backend in backends
+    }
+
+
+def geomean_table_rows(rows: Iterable[dict]) -> list[dict]:
+    """The headline geomean summary as printable table rows (CLI, benchmarks)."""
+    return [
+        {
+            "backend": backend,
+            "cells": stats["cells"],
+            "gnnie_geomean_speedup": round(stats["geomean_speedup"], 2),
+            "gnnie_geomean_energy_gain": round(stats["geomean_energy_gain"], 2),
+        }
+        for backend, stats in backend_geomeans(rows).items()
+    ]

@@ -30,6 +30,14 @@ behind the input buffer::
 
     python -m repro cache --dataset cora --mechanism victim,stream
     python -m repro cache --dataset pubmed --policy all --mechanism victim,miss,stream
+
+Run a scenario sweep (dataset × family × backend matrix) into a resumable
+result store, fanning cells across worker processes::
+
+    python -m repro sweep --jobs 4 --store sweep.jsonl
+    python -m repro sweep --datasets cora,citeseer --models gcn,gat \\
+        --backends gnnie,pyg-cpu --scale 0.1 --jobs 2 --store sweep.jsonl
+    python -m repro sweep --store sweep.jsonl --json   # resumes: skips done cells
 """
 
 from __future__ import annotations
@@ -53,9 +61,10 @@ from repro.cache import MissPathConfig, mechanism_names
 from repro.datasets import build_dataset, dataset_names, dataset_spec
 from repro.hw import AcceleratorConfig, design_preset
 from repro.models import MODEL_FAMILIES
-from repro.plan import lower
+from repro.plan import executor_names, lower
 from repro.sim import GNNIESimulator, input_buffer_capacity
 from repro.sim.trace import phase_table, result_to_json
+from repro.sweep import ResultStore, ScenarioMatrix, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -145,6 +154,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream-depth", type=int, default=None, help="prefetch depth per stream buffer"
     )
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a (dataset × model × backend) scenario matrix into a resumable store",
+    )
+    sweep_parser.add_argument(
+        "--datasets",
+        default="all",
+        help="comma-separated dataset names, or 'all' (default: all five)",
+    )
+    sweep_parser.add_argument(
+        "--models",
+        default="all",
+        help="comma-separated GNN families, or 'all' (default: all five)",
+    )
+    sweep_parser.add_argument(
+        "--backends",
+        default="all",
+        help=(
+            "comma-separated executor backends, or 'all' "
+            f"(default: {', '.join(executor_names())})"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--designs",
+        default=None,
+        help="comma-separated design points A-E to sweep as configurations "
+        "(default: the GNNIE configuration); baseline platforms model fixed "
+        "silicon and are swept once regardless",
+    )
+    sweep_parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale override in (0, 1] applied to every dataset "
+        "(default: each dataset's registry scale)",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; per-dataset seeds are derived deterministically from it",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = run in-process)"
+    )
+    sweep_parser.add_argument(
+        "--store", default="sweep.jsonl", help="result store path (JSONL, one row per cell)"
+    )
+    sweep_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="truncate an existing store instead of skipping its completed cells",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="emit the summary and all rows as JSON"
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
 
     return parser
 
@@ -358,6 +421,63 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         f"(buffer capacity {capacity} vertices, record {record_bytes} B)"
     )
     print(format_table(rows, title=title))
+    return 0
+
+
+def _split_axis(value: str, *, all_values: Sequence[str], axis: str) -> list[str]:
+    """Parse a comma-separated axis argument, expanding the 'all' shorthand."""
+    if value.strip().lower() == "all":
+        return list(all_values)
+    names = [name.strip().lower() for name in value.split(",") if name.strip()]
+    unknown = set(names) - set(all_values)
+    if not names or unknown:
+        raise ValueError(
+            f"unknown {axis} {sorted(unknown) if unknown else value!r}; "
+            f"known: {', '.join(all_values)}"
+        )
+    return names
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis import geomean_table_rows
+
+    try:
+        if args.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+        if args.scale is not None and not 0 < args.scale <= 1:
+            raise ValueError("--scale must be in (0, 1]")
+        datasets = _split_axis(args.datasets, all_values=dataset_names(), axis="datasets")
+        models = _split_axis(args.models, all_values=list(MODEL_FAMILIES), axis="models")
+        backends = _split_axis(args.backends, all_values=executor_names(), axis="backends")
+        configs = (
+            [design_preset(name) for name in args.designs.split(",") if name.strip()]
+            if args.designs
+            else None
+        )
+        store = ResultStore(args.store, resume=not args.no_resume)
+    except (ValueError, KeyError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    matrix = ScenarioMatrix.build(
+        datasets, models, backends=backends, configs=configs, scale=args.scale, seed=args.seed
+    )
+
+    def progress(cell, row, done, total):
+        status = "ok" if row["supported"] else "unsupported"
+        print(f"  [{done}/{total}] {cell.describe()}: {status}", file=sys.stderr)
+
+    summary = run_sweep(matrix, store=store, jobs=args.jobs, progress=progress)
+    if args.json:
+        print(json.dumps(summary.as_dict(), indent=2))
+        return 0
+    print(
+        f"sweep: {summary.total} cells ({summary.executed} executed, "
+        f"{summary.skipped} resumed, {summary.unsupported} unsupported) -> {summary.store_path}"
+    )
+    rows = geomean_table_rows(summary.rows)
+    if rows:
+        print()
+        print(format_table(rows, title="GNNIE geomean speedup / energy gain per backend"))
     return 0
 
 

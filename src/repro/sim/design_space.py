@@ -11,6 +11,12 @@ that exploration as a library feature:
   allocations under a MAC budget,
 * :func:`sweep_buffer_sizes` — evaluate input/output buffer sizings,
 * :func:`pareto_front` — extract the latency/area Pareto-optimal designs.
+
+Since the scenario-sweep subsystem landed, the evaluation loops here are
+thin wrappers over :func:`repro.sweep.run_sweep`: each configuration
+becomes one sweep cell over the caller's graph, so design sweeps share the
+fleet runner's worker protocol (and can fan out with ``jobs > 1``) instead
+of maintaining a private serial loop.
 """
 
 from __future__ import annotations
@@ -22,7 +28,6 @@ from typing import Iterable, Sequence
 from repro.graph.graph import Graph
 from repro.hw.config import AcceleratorConfig
 from repro.hw.energy import AreaModel
-from repro.sim.engine import GNNIESimulator
 
 __all__ = [
     "DesignPoint",
@@ -63,22 +68,39 @@ def sweep_designs(
     configs: Iterable[AcceleratorConfig],
     *,
     area_model: AreaModel | None = None,
+    jobs: int = 1,
 ) -> list[DesignPoint]:
-    """Simulate ``family`` on ``graph`` for every configuration."""
+    """Simulate ``family`` on ``graph`` for every configuration.
+
+    Each configuration is one cell of a single-dataset
+    :class:`~repro.sweep.matrix.ScenarioMatrix` executed by
+    :func:`~repro.sweep.run_sweep`; ``jobs > 1`` fans the configurations
+    across worker processes.
+    """
+    from repro.sweep.matrix import DatasetCase, ScenarioMatrix
+    from repro.sweep.runner import run_sweep
+
     area = area_model or AreaModel()
+    configs = list(configs)
+    matrix = ScenarioMatrix(
+        datasets=(DatasetCase(name=graph.name, seed=0),),
+        families=(family.lower(),),
+        backends=("gnnie",),
+        configs=tuple(configs),
+    )
+    summary = run_sweep(matrix, jobs=jobs, graphs={graph.name: graph})
     points: list[DesignPoint] = []
-    for config in configs:
-        simulator = GNNIESimulator(config, area_model=area)
-        result = simulator.run(graph, family)
+    for config, row in zip(configs, summary.rows):
+        metrics = row["metrics"]
         points.append(
             DesignPoint(
                 name=config.name,
                 config=config,
                 total_macs=config.total_macs,
                 area_mm2=area.chip_area_mm2(config),
-                cycles=result.total_cycles,
-                latency_seconds=result.latency_seconds,
-                energy_joules=result.energy_joules,
+                cycles=metrics["cycles"],
+                latency_seconds=metrics["latency_seconds"],
+                energy_joules=metrics["energy_joules"],
             )
         )
     return points
@@ -124,6 +146,7 @@ def sweep_buffer_sizes(
     input_buffer_kib: Sequence[int] = (128, 256, 512, 1024),
     output_buffer_kib: Sequence[int] = (512, 1024, 2048),
     base_config: AcceleratorConfig | None = None,
+    jobs: int = 1,
 ) -> list[DesignPoint]:
     """Evaluate combinations of input/output buffer capacities."""
     base = base_config or AcceleratorConfig()
@@ -137,22 +160,40 @@ def sweep_buffer_sizes(
                 name=f"IB{input_kib}K-OB{output_kib}K",
             )
         )
-    return sweep_designs(graph, family, configs)
+    return sweep_designs(graph, family, configs, jobs=jobs)
 
 
 def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
-    """Designs not dominated in (latency, area): lower is better for both."""
-    front: list[DesignPoint] = []
-    for candidate in points:
-        dominated = any(
-            other.latency_seconds <= candidate.latency_seconds
-            and other.area_mm2 <= candidate.area_mm2
-            and (
-                other.latency_seconds < candidate.latency_seconds
-                or other.area_mm2 < candidate.area_mm2
-            )
-            for other in points
-        )
-        if not dominated:
-            front.append(candidate)
+    """Designs not dominated in (latency, area): lower is better for both.
+
+    Sort-then-scan in O(n log n): after sorting by (latency, area), a point
+    survives iff the minimum area of its latency group is strictly below
+    the best area seen at any strictly smaller latency — a point with equal
+    latency and higher area is dominated within its group, one whose area
+    merely ties the running minimum is dominated through strictly smaller
+    latency.  Exact-duplicate (latency, area) pairs dominate neither each
+    other nor anything their twin does not, so all duplicates of a
+    surviving point survive, matching the all-pairs domination definition.
+    """
+    order = sorted(
+        range(len(points)),
+        key=lambda i: (points[i].latency_seconds, points[i].area_mm2),
+    )
+    keep = [False] * len(points)
+    best_area = float("inf")
+    start = 0
+    while start < len(order):
+        stop = start
+        latency = points[order[start]].latency_seconds
+        while stop < len(order) and points[order[stop]].latency_seconds == latency:
+            stop += 1
+        group_min = points[order[start]].area_mm2
+        if group_min < best_area:
+            for position in range(start, stop):
+                index = order[position]
+                if points[index].area_mm2 == group_min:
+                    keep[index] = True
+            best_area = group_min
+        start = stop
+    front = [point for index, point in enumerate(points) if keep[index]]
     return sorted(front, key=lambda point: point.latency_seconds)

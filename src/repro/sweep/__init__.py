@@ -1,0 +1,61 @@
+"""Parallel scenario sweeps with a resumable result store.
+
+The paper evaluates GNNIE as a matrix — datasets × GNN families × platforms
+(Figs. 12–15) — and picks its flexible-MAC allocation and buffer sizes by
+sweeping configurations over that matrix (Section VIII-A).  This package
+treats the simulator as a fleet workload:
+
+* :mod:`repro.sweep.matrix` — :class:`ScenarioMatrix` expands the four axes
+  into content-hashed, picklable :class:`SweepCell`\\ s,
+* :mod:`repro.sweep.worker` — :func:`run_cell` executes one cell with
+  per-process dataset/executor memos,
+* :mod:`repro.sweep.store` — :class:`ResultStore`, an append-only JSONL
+  store keyed by cell hash; re-running skips completed cells and a killed
+  sweep resumes where it stopped,
+* :mod:`repro.sweep.runner` — :func:`run_sweep` fans pending cells across a
+  process pool and streams rows into the store.
+
+Store-backed aggregation (Pareto fronts, speedup tables) lives in
+:mod:`repro.analysis.sweep_aggregate`; the CLI front end is
+``python -m repro sweep``.
+"""
+
+from repro.sweep.matrix import (
+    DatasetCase,
+    ScenarioMatrix,
+    SweepCell,
+    config_from_dict,
+    config_to_dict,
+    derive_seed,
+    full_matrix,
+)
+from repro.sweep.runner import SweepSummary, run_sweep
+from repro.sweep.store import ResultStore, canonical_row
+from repro.sweep.worker import run_cell
+
+
+def __getattr__(name: str):
+    # ALL_BACKENDS resolves against the live executor registry on access
+    # (see repro.sweep.matrix), so plug-in backends registered after import
+    # are included.
+    if name == "ALL_BACKENDS":
+        from repro.sweep import matrix
+
+        return matrix.ALL_BACKENDS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ALL_BACKENDS",
+    "DatasetCase",
+    "ScenarioMatrix",
+    "SweepCell",
+    "SweepSummary",
+    "ResultStore",
+    "canonical_row",
+    "config_from_dict",
+    "config_to_dict",
+    "derive_seed",
+    "full_matrix",
+    "run_cell",
+    "run_sweep",
+]

@@ -1,0 +1,240 @@
+"""Scenario-matrix expansion: (dataset × family × backend × config) → cells.
+
+The paper's evaluation is a matrix — five datasets (Table II) × five GNN
+families (Table III) × GNNIE plus five baseline platforms (Figs. 12–15) —
+and its design choices come from sweeping accelerator configurations over
+that matrix (Section VIII-A).  :class:`ScenarioMatrix` expands those axes
+into an ordered list of :class:`SweepCell`\\ s, each one fully serializable:
+a cell can be hashed (for the resumable result store), pickled (for the
+process-pool workers) and rebuilt into the exact same simulation.
+
+Determinism contract
+--------------------
+* Cell order is the deterministic axis-major product (datasets, then
+  families, then backends, then configs) — independent of execution order.
+* Every cell carries an explicit dataset seed.  When the caller does not
+  pin one, :func:`derive_seed` derives it from the matrix base seed and the
+  dataset name via SHA-256, so all cells of one dataset share one synthetic
+  graph (speedups stay apples-to-apples) and re-running the same matrix
+  anywhere reproduces the same graphs.
+* :meth:`SweepCell.key` is a content hash over the canonical JSON of the
+  cell spec (including every ``AcceleratorConfig`` field), so two sweeps
+  agree on what "the same cell" is across processes, machines and runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Sequence
+
+from repro.hw.config import AcceleratorConfig
+
+__all__ = [
+    "ALL_BACKENDS",
+    "DatasetCase",
+    "SweepCell",
+    "ScenarioMatrix",
+    "derive_seed",
+    "config_to_dict",
+    "config_from_dict",
+    "full_matrix",
+]
+
+def _all_backends() -> tuple[str, ...]:
+    """Every registered plan executor — GNNIE plus the baseline platforms.
+
+    Resolved from the live backend registry on access (PEP 562 module
+    attribute), so executors registered at runtime are included and merely
+    importing this module does not pull in the whole backend stack.
+    """
+    from repro.plan.executor import executor_names
+
+    return executor_names()
+
+
+def __getattr__(name: str):
+    if name == "ALL_BACKENDS":
+        return _all_backends()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+def derive_seed(base_seed: int, dataset: str) -> int:
+    """Deterministic per-dataset seed: stable across processes and runs."""
+    digest = hashlib.sha256(f"{base_seed}:{dataset.lower()}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def config_to_dict(config: AcceleratorConfig) -> dict:
+    """JSON-serializable mapping of every configuration field."""
+    return asdict(config)
+
+
+def config_from_dict(data: dict) -> AcceleratorConfig:
+    """Rebuild an :class:`AcceleratorConfig` from a JSON round-trip.
+
+    Every list became a tuple on the way out (the config's sequence fields
+    are all tuples), so the restoration needs no per-field knowledge and
+    keeps working when new tuple fields are added.
+    """
+    return AcceleratorConfig(
+        **{
+            name: tuple(value) if isinstance(value, list) else value
+            for name, value in data.items()
+        }
+    )
+
+
+@dataclass(frozen=True)
+class DatasetCase:
+    """One dataset axis entry: a registry name plus scale/seed overrides.
+
+    ``scale=None`` uses the registry's per-dataset default (full scale for
+    the citation graphs, the documented stand-in scales for PPI/Reddit).
+    ``seed=None`` lets the matrix derive a deterministic per-dataset seed.
+    """
+
+    name: str
+    scale: float | None = None
+    seed: int | None = None
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully-specified scenario: everything a worker needs to run it."""
+
+    dataset: str
+    scale: float | None
+    seed: int
+    family: str
+    backend: str
+    config: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+
+    def spec(self) -> dict:
+        """Canonical JSON-serializable description (hashed by :meth:`key`)."""
+        return {
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "seed": self.seed,
+            "family": self.family,
+            "backend": self.backend,
+            "config": config_to_dict(self.config),
+        }
+
+    def key(self) -> str:
+        """Content hash identifying this cell in the result store."""
+        canonical = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        return f"{self.dataset}/{self.family}/{self.backend}[{self.config.name}]"
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """The four sweep axes plus the base seed cells derive theirs from.
+
+    The configuration axis is crossed only with the backends named in
+    ``config_backends`` (default: GNNIE, the one built-in executor whose
+    cost model reads the configuration); the baseline platforms model fixed
+    published silicon and ignore ``config``, so they are swept once — with
+    ``configs[0]`` — instead of producing N byte-identical rows.  Pass
+    ``config_backends=None`` to cross every backend with every
+    configuration (e.g. for a plug-in backend that is config-sensitive).
+    """
+
+    datasets: tuple[DatasetCase, ...]
+    families: tuple[str, ...]
+    backends: tuple[str, ...] = ("gnnie",)
+    configs: tuple[AcceleratorConfig, ...] = (AcceleratorConfig(),)
+    seed: int = 0
+    config_backends: tuple[str, ...] | None = ("gnnie",)
+
+    @classmethod
+    def build(
+        cls,
+        datasets: Iterable[str | DatasetCase],
+        families: Iterable[str],
+        *,
+        backends: Iterable[str] = ("gnnie",),
+        configs: Sequence[AcceleratorConfig] | None = None,
+        scale: float | None = None,
+        seed: int = 0,
+        config_backends: Iterable[str] | None = ("gnnie",),
+    ) -> "ScenarioMatrix":
+        """Normalize axis inputs (names become :class:`DatasetCase` entries).
+
+        ``scale`` overrides the registry default for every plain-name
+        dataset entry; explicit :class:`DatasetCase` entries keep their own.
+        """
+        cases = tuple(
+            case
+            if isinstance(case, DatasetCase)
+            else DatasetCase(name=case.lower(), scale=scale)
+            for case in datasets
+        )
+        return cls(
+            datasets=cases,
+            families=tuple(family.lower() for family in families),
+            backends=tuple(backend.lower() for backend in backends),
+            configs=tuple(configs) if configs else (AcceleratorConfig(),),
+            seed=seed,
+            config_backends=(
+                tuple(backend.lower() for backend in config_backends)
+                if config_backends is not None
+                else None
+            ),
+        )
+
+    def _configs_for(self, backend: str) -> tuple[AcceleratorConfig, ...]:
+        if self.config_backends is None or backend in self.config_backends:
+            return self.configs
+        return self.configs[:1]
+
+    def cells(self) -> list[SweepCell]:
+        """Axis-major expansion (dataset, family, backend, config)."""
+        expanded: list[SweepCell] = []
+        for case in self.datasets:
+            seed = case.seed if case.seed is not None else derive_seed(self.seed, case.name)
+            for family in self.families:
+                for backend in self.backends:
+                    for config in self._configs_for(backend):
+                        expanded.append(
+                            SweepCell(
+                                dataset=case.name,
+                                scale=case.scale,
+                                seed=seed,
+                                family=family,
+                                backend=backend,
+                                config=config,
+                            )
+                        )
+        return expanded
+
+    def __len__(self) -> int:
+        cells_per_pair = sum(len(self._configs_for(backend)) for backend in self.backends)
+        return len(self.datasets) * len(self.families) * cells_per_pair
+
+
+def full_matrix(
+    *,
+    backends: Iterable[str] | None = None,
+    configs: Sequence[AcceleratorConfig] | None = None,
+    scale: float | None = None,
+    seed: int = 0,
+) -> ScenarioMatrix:
+    """The paper's full evaluation matrix: 5 datasets × 5 families × backends.
+
+    ``backends`` defaults to every registered executor (:data:`ALL_BACKENDS`).
+    """
+    from repro.datasets.registry import dataset_names
+    from repro.models.zoo import MODEL_FAMILIES
+
+    return ScenarioMatrix.build(
+        dataset_names(),
+        MODEL_FAMILIES,
+        backends=backends if backends is not None else _all_backends(),
+        configs=configs,
+        scale=scale,
+        seed=seed,
+    )

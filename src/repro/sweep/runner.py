@@ -1,0 +1,162 @@
+"""Scenario-sweep runner: fan cells out, stream rows into the store.
+
+:func:`run_sweep` is the single entry point every exploration path routes
+through — the ``repro sweep`` CLI, the design-space wrappers in
+:mod:`repro.sim.design_space`, the figure benchmarks' full evaluation
+matrix.  It expands a :class:`~repro.sweep.matrix.ScenarioMatrix` (or takes
+pre-built cells), skips cells whose keys are already in the
+:class:`~repro.sweep.store.ResultStore` (resume), executes the remainder —
+inline for ``jobs=1``, across a ``ProcessPoolExecutor`` otherwise — and
+appends each row to the store the moment it completes, so progress survives
+a kill at any point.
+
+Results are returned in deterministic cell order regardless of the order
+workers finish in; a sweep's summary is a pure function of its matrix and
+store, never of scheduling.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.sweep.matrix import ScenarioMatrix, SweepCell
+from repro.sweep.store import ResultStore
+from repro.sweep.worker import run_cell, seed_graph_overrides
+
+__all__ = ["SweepSummary", "run_sweep"]
+
+#: Progress callback signature: (cell, row, completed_count, total_count).
+ProgressCallback = Callable[[SweepCell, dict, int, int], None]
+
+
+@dataclass
+class SweepSummary:
+    """Outcome of one sweep: per-cell rows plus execution accounting."""
+
+    total: int
+    executed: int
+    skipped: int
+    rows: list[dict] = field(default_factory=list)
+    store_path: str | None = None
+
+    @property
+    def unsupported(self) -> int:
+        """Cells whose backend cannot run the family (rows with null metrics)."""
+        return sum(1 for row in self.rows if not row["supported"])
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "unsupported": self.unsupported,
+            "store": self.store_path,
+            "rows": self.rows,
+        }
+
+
+def run_sweep(
+    matrix: ScenarioMatrix | Sequence[SweepCell],
+    *,
+    store: ResultStore | None = None,
+    jobs: int = 1,
+    graphs: dict[str, object] | None = None,
+    progress: ProgressCallback | None = None,
+) -> SweepSummary:
+    """Run every cell of the matrix, resuming from the store.
+
+    Args:
+        matrix: A :class:`ScenarioMatrix` or an explicit cell sequence.
+        store: Resumable result store; cells whose key it already contains
+            are not executed (their stored rows are returned instead).
+            ``None`` keeps results in memory only.
+        jobs: Worker processes.  ``1`` runs inline in this process (sharing
+            its dataset/executor memos); ``>1`` fans out across a
+            ``ProcessPoolExecutor`` with one deterministic row per cell.
+        graphs: Optional pre-built graphs keyed by cell dataset name,
+            overriding the synthetic registry build (the design-space
+            wrappers sweep caller-supplied graphs this way).  Requires an
+            in-memory store: a cell key hashes only the cell spec, not
+            graph content, so a persistent store could silently serve rows
+            computed from a *different* caller-supplied graph of the same
+            name on a later run.
+        progress: Optional callback invoked after each cell completes.
+
+    Returns:
+        A :class:`SweepSummary` with rows in matrix cell order.
+        ``executed`` counts unique simulated cells; ``skipped`` counts cells
+        served from the store or from an identical cell earlier in the same
+        matrix (duplicate axis entries are simulated once).
+    """
+    cells = matrix.cells() if isinstance(matrix, ScenarioMatrix) else list(matrix)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if store is None:
+        store = ResultStore(None)
+    if graphs and store.path is not None:
+        raise ValueError(
+            "caller-supplied graphs require an in-memory store: cell keys do "
+            "not hash graph content, so resuming from a file could return "
+            "rows computed from a different graph with the same name"
+        )
+
+    results: dict[int, dict] = {}
+    # Duplicate-key cells execute once; the row fans out to every holder.
+    pending: dict[str, list[tuple[int, SweepCell]]] = {}
+    for index, cell in enumerate(cells):
+        cached = store.get(cell.key())
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.setdefault(cell.key(), []).append((index, cell))
+    completed = len(results)
+
+    def finish(key: str, row: dict) -> None:
+        nonlocal completed
+        store.append(row)
+        for index, cell in pending[key]:
+            results[index] = row
+            completed += 1
+            if progress is not None:
+                progress(cell, row, completed, len(cells))
+
+    if jobs == 1 or not pending:
+        for key, holders in pending.items():
+            cell = holders[0][1]
+            graph = graphs.get(cell.dataset) if graphs else None
+            finish(key, run_cell(cell, graph))
+    else:
+        # Caller-supplied graphs ship once per worker process (initializer),
+        # not once per cell.
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=seed_graph_overrides if graphs else None,
+            initargs=(graphs,) if graphs else (),
+        ) as pool:
+            futures = {
+                pool.submit(run_cell, holders[0][1]): key
+                for key, holders in pending.items()
+            }
+            # Drain every completed future even after one fails: rows other
+            # workers finished must still reach the store (the resume
+            # guarantee), so the first error is re-raised only at the end.
+            error: Exception | None = None
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    row = future.result()
+                except Exception as exc:
+                    error = error or exc
+                    continue
+                finish(futures[future], row)
+            if error is not None:
+                raise error
+
+    return SweepSummary(
+        total=len(cells),
+        executed=len(pending),
+        skipped=len(cells) - len(pending),
+        rows=[results[index] for index in range(len(cells))],
+        store_path=str(store.path) if store.path is not None else None,
+    )

@@ -1,0 +1,126 @@
+"""Resumable on-disk result store for scenario sweeps.
+
+One sweep cell → one JSONL row, keyed by the cell's content hash
+(:meth:`~repro.sweep.matrix.SweepCell.key`).  Rows are serialized
+canonically — sorted keys, compact separators — so identical cells produce
+byte-identical lines, and appended with an immediate flush so a killed
+sweep loses at most the row being written.  Reopening the store scans the
+file, indexes completed keys, and silently drops a truncated trailing line
+(the partial write of an interrupted run); the next sweep then skips every
+completed cell and re-executes only what is missing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["ResultStore", "canonical_row"]
+
+
+def canonical_row(row: dict) -> str:
+    """Canonical single-line JSON serialization of one result row."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Append-only JSONL store indexed by cell key.
+
+    Args:
+        path: Store file location; parent directories are created lazily on
+            the first append.  ``None`` keeps the store purely in memory
+            (used by the in-process design-space wrappers).
+        resume: When ``False``, an existing file is truncated instead of
+            indexed, so every cell re-executes.
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None, *, resume: bool = True) -> None:
+        self.path = Path(path) if path is not None else None
+        self._rows: dict[str, dict] = {}
+        self._dropped_partial = False
+        if self.path is not None and self.path.exists():
+            if resume:
+                self._load()
+            else:
+                self.path.unlink()
+
+    # ------------------------------------------------------------------ #
+    # Loading / indexing
+    # ------------------------------------------------------------------ #
+    def _load(self) -> None:
+        text = self.path.read_text()
+        lines = text.split("\n")
+        # A complete store ends with a newline, so the final split element is
+        # empty; anything else is the partial row of an interrupted sweep.
+        ends_complete = bool(lines) and lines[-1] == ""
+        if ends_complete:
+            lines.pop()
+        for index, line in enumerate(lines):
+            try:
+                row = json.loads(line)
+                key = row["key"]
+            except (json.JSONDecodeError, TypeError, KeyError):
+                # Only a non-newline-terminated tail can be the partial
+                # write of a killed sweep (every append writes "row\n", so
+                # any prefix ending in a newline is a complete row); a
+                # newline-terminated unparseable line is genuine corruption
+                # wherever it sits.
+                if index == len(lines) - 1 and not ends_complete:
+                    self._dropped_partial = True
+                    # Truncate the partial write away so the next append
+                    # starts on a fresh line instead of gluing onto it
+                    # (which would corrupt the store for every later load).
+                    os.truncate(self.path, len(text.encode()) - len(line.encode()))
+                    continue
+                raise ValueError(
+                    f"corrupt result store {self.path}: unparseable row {index}"
+                ) from None
+            self._rows[key] = row
+        if not ends_complete and not self._dropped_partial and lines:
+            # The tail row parsed but lost only its newline in a partial
+            # write; restore it so the next append starts on a fresh line.
+            with self.path.open("a") as handle:
+                handle.write("\n")
+
+    @property
+    def dropped_partial_row(self) -> bool:
+        """Whether loading discarded a truncated trailing row."""
+        return self._dropped_partial
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def get(self, key: str) -> dict | None:
+        return self._rows.get(key)
+
+    def keys(self) -> set[str]:
+        return set(self._rows)
+
+    def rows(self) -> Iterator[dict]:
+        """All indexed rows, in insertion (file) order."""
+        return iter(self._rows.values())
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def append(self, row: dict) -> None:
+        """Index ``row`` and durably append it to the file (if any)."""
+        key = row["key"]
+        if key in self._rows:
+            return
+        self._rows[key] = row
+        if self.path is None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(canonical_row(row) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

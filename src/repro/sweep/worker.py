@@ -1,0 +1,138 @@
+"""Sweep worker: executes one cell and returns its serializable result row.
+
+:func:`run_cell` is the unit of work the runner fans out.  It is a
+module-level function over a picklable :class:`~repro.sweep.matrix.SweepCell`
+so it crosses a ``ProcessPoolExecutor`` boundary unchanged, and it is what
+the in-process (``jobs=1``) path calls directly — both paths produce the
+same bytes.
+
+A per-process dataset memo keyed by (name, scale, seed) keeps the fan-out
+cheap: a worker process that receives many cells of one dataset builds its
+synthetic graph once.  Executors, by contrast, are created *fresh per
+cell*: the GNNIE executor shares one cache-policy simulation per (graph,
+buffer config), sized by whichever op primes it first, so an executor
+reused across cells would make a cell's numbers depend on which cells the
+scheduler happened to hand the same process earlier.  A fresh executor
+makes every row a pure function of its cell spec — the property that keeps
+store rows byte-identical across runs, job counts and machines.
+
+Every metric in the returned row is a plain int/float.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sweep.matrix import SweepCell, config_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.graph import Graph
+
+__all__ = ["run_cell"]
+
+#: Per-process dataset memo: (dataset, scale, seed) -> Graph.  Bounded so
+#: the jobs=1 path (which runs in the caller's process and lives as long as
+#: the interpreter) cannot pin an unbounded set of graphs; the bound covers
+#: the full Table II registry with room for scale/seed variants.
+_GRAPHS: dict[tuple, "Graph"] = {}
+_GRAPH_MEMO_LIMIT = 16
+#: Caller-supplied graphs by dataset name (seeded once per worker process
+#: via :func:`seed_graph_overrides`, so a pool never re-pickles a graph per
+#: cell).
+_GRAPH_OVERRIDES: dict[str, "Graph"] = {}
+
+
+def seed_graph_overrides(graphs: dict[str, "Graph"] | None) -> None:
+    """Process-pool initializer installing caller-supplied graphs."""
+    _GRAPH_OVERRIDES.clear()
+    if graphs:
+        _GRAPH_OVERRIDES.update(graphs)
+
+
+def _graph_for(cell: SweepCell) -> "Graph":
+    from repro.datasets.synthetic import build_dataset
+
+    override = _GRAPH_OVERRIDES.get(cell.dataset)
+    if override is not None:
+        return override
+    key = (cell.dataset, cell.scale, cell.seed)
+    if key not in _GRAPHS:
+        while len(_GRAPHS) >= _GRAPH_MEMO_LIMIT:
+            _GRAPHS.pop(next(iter(_GRAPHS)))
+        _GRAPHS[key] = build_dataset(cell.dataset, scale=cell.scale, seed=cell.seed)
+    return _GRAPHS[key]
+
+
+def _abbreviation_for(cell: SweepCell, graph: "Graph | None") -> str:
+    """Dataset abbreviation without forcing a graph build."""
+    if graph is not None:
+        return graph.name
+    override = _GRAPH_OVERRIDES.get(cell.dataset)
+    if override is not None:
+        return override.name
+    from repro.datasets.registry import dataset_spec
+
+    return dataset_spec(cell.dataset).abbreviation
+
+
+def run_cell(cell: SweepCell, graph: "Graph | None" = None) -> dict:
+    """Execute one scenario cell and return its result-store row.
+
+    Args:
+        cell: The fully-specified scenario.
+        graph: Optional pre-built dataset graph (in-process sweeps over
+            caller-supplied graphs); defaults to the memoized synthetic
+            build for the cell's (dataset, scale, seed).
+
+    Returns:
+        A JSON-serializable row.  Backends that do not support the cell's
+        GNN family (e.g. AWB-GCN beyond GCN) still produce a row, with
+        ``supported=False`` and null metrics, so a finished sweep has
+        exactly one row per cell.
+    """
+    from repro.plan.executor import executor
+    from repro.plan.lowering import lower
+
+    backend = executor(cell.backend)
+    row = {
+        "key": cell.key(),
+        "dataset": cell.dataset,
+        "dataset_abbrev": _abbreviation_for(cell, graph),
+        "scale": cell.scale,
+        "seed": cell.seed,
+        "family": cell.family,
+        "backend": cell.backend,
+        "config_name": cell.config.name,
+        "config": config_to_dict(cell.config),
+        "supported": True,
+        "metrics": None,
+    }
+
+    # Unsupported (backend, family) combinations never need the graph, so
+    # the row is produced without building the dataset.
+    supports = getattr(backend, "supports", None)
+    if supports is not None and not supports(cell.family):
+        row["supported"] = False
+        return row
+
+    if graph is None:
+        graph = _graph_for(cell)
+    plan = lower(cell.family, graph)
+    result = backend.execute(plan, graph, cell.config)
+    metrics = {
+        "latency_seconds": float(result.latency_seconds),
+        "energy_joules": float(result.energy_joules),
+        "inferences_per_kilojoule": float(result.inferences_per_kilojoule),
+    }
+    # GNNIE's InferenceResult carries cycle/traffic detail and a chip area
+    # the store-backed Pareto aggregation needs; platform results do not.
+    if hasattr(result, "total_cycles"):
+        metrics.update(
+            cycles=int(result.total_cycles),
+            mac_operations=int(result.total_mac_operations),
+            dram_bytes=int(result.total_dram_bytes),
+            total_macs=int(cell.config.total_macs),
+            area_mm2=float(backend.chip_area_mm2(cell.config)),
+        )
+    row["metrics"] = metrics
+    return row

@@ -80,6 +80,75 @@ class TestRegistry:
         assert dataset_spec("cora").default_scale == 1.0
 
 
+class TestScaledEdgeCases:
+    """Boundary behaviour of DatasetSpec.scaled and registry lookup."""
+
+    def test_scale_exactly_one_keeps_published_counts(self):
+        spec = dataset_spec("cora")
+        scaled = spec.scaled(1.0)
+        assert (scaled.num_vertices, scaled.num_edges) == (
+            spec.num_vertices,
+            spec.num_edges,
+        )
+        assert not scaled.is_scaled and scaled.scale == 1.0
+
+    def test_scale_just_outside_bounds_rejected(self):
+        spec = dataset_spec("cora")
+        for bad in (0.0, -0.1, 1.0 + 1e-9, 2.0):
+            with pytest.raises(ValueError, match=r"\(0, 1\]"):
+                spec.scaled(bad)
+
+    def test_scale_just_inside_bounds_accepted(self):
+        spec = dataset_spec("cora")
+        assert spec.scaled(1.0 - 1e-9).is_scaled
+        tiny = spec.scaled(1e-9)
+        # The vertex floor keeps degenerate scales simulable.
+        assert tiny.num_vertices == 64
+        assert tiny.num_edges >= tiny.num_vertices
+
+    def test_density_cap_binds_on_tiny_reddit_scales(self):
+        """Reddit's edge count collapses onto the 5% adjacency-density cap."""
+        scaled = dataset_spec("reddit").scaled(0.002)
+        cap = int(0.05 * scaled.num_vertices * scaled.num_vertices / 2)
+        assert scaled.num_edges == cap
+        # Without the cap the naive scaled edge count would be far larger.
+        assert int(round(114_600_000 * 0.002)) > cap
+
+    def test_density_cap_never_undercuts_vertex_floor(self):
+        """At the 64-vertex floor the cap stays above num_vertices edges."""
+        scaled = dataset_spec("reddit").scaled(1e-6)
+        assert scaled.num_vertices == 64
+        assert scaled.num_edges >= scaled.num_vertices
+        density = 2 * scaled.num_edges / scaled.num_vertices**2
+        assert density <= 0.05 + 1e-9
+
+    def test_cap_inactive_for_sparse_citation_graphs(self):
+        spec = dataset_spec("pubmed")
+        scaled = spec.scaled(0.5)
+        assert scaled.num_edges == int(round(spec.num_edges * 0.5))
+
+    def test_lookup_by_canonical_name(self):
+        assert dataset_spec("ppi").abbreviation == "PPI"
+        assert dataset_spec("reddit").name == "Reddit"
+
+    def test_lookup_by_abbreviation_any_case(self):
+        assert dataset_spec("rd").name == "Reddit"
+        assert dataset_spec("Rd").name == "Reddit"
+        assert dataset_spec("pb").name == "Pubmed"
+
+    def test_lookup_by_full_name_mixed_case(self):
+        assert dataset_spec("CoRa").abbreviation == "CR"
+        assert dataset_spec("ReDdIt").abbreviation == "RD"
+        assert dataset_spec("Protein-Protein Interaction").abbreviation == "PPI"
+
+    def test_lookup_strips_whitespace(self):
+        assert dataset_spec("  cora  ").abbreviation == "CR"
+
+    def test_lookup_unknown_reports_known_names(self):
+        with pytest.raises(KeyError, match="known"):
+            dataset_spec("ogbn-arxiv")
+
+
 class TestBuildDataset:
     @pytest.fixture(scope="class")
     def cora(self):

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.hw import AcceleratorConfig, design_preset
 from repro.sim import (
@@ -11,6 +12,7 @@ from repro.sim import (
     sweep_designs,
     sweep_mac_allocations,
 )
+from repro.sim.design_space import DesignPoint
 
 
 class TestSweepDesigns:
@@ -100,3 +102,95 @@ class TestBufferSweepAndPareto:
         front = pareto_front(sweep_designs(tiny_graph, "gcn", configs))
         latencies = [point.latency_seconds for point in front]
         assert latencies == sorted(latencies)
+
+
+def _point(index: int, latency: float, area: float) -> DesignPoint:
+    return DesignPoint(
+        name=f"P{index}",
+        config=None,
+        total_macs=index,
+        area_mm2=area,
+        cycles=index,
+        latency_seconds=latency,
+        energy_joules=1.0,
+    )
+
+
+def _pareto_front_all_pairs(points: list[DesignPoint]) -> list[DesignPoint]:
+    """The pre-optimization O(n²) all-pairs domination oracle, verbatim."""
+    front: list[DesignPoint] = []
+    for candidate in points:
+        dominated = any(
+            other.latency_seconds <= candidate.latency_seconds
+            and other.area_mm2 <= candidate.area_mm2
+            and (
+                other.latency_seconds < candidate.latency_seconds
+                or other.area_mm2 < candidate.area_mm2
+            )
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda point: point.latency_seconds)
+
+
+class TestParetoEquivalence:
+    """The sort-then-scan front must match the old all-pairs definition."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        coordinates=st.lists(
+            st.tuples(
+                # Small integer-valued grids force plenty of exact latency
+                # and area ties, plus full (latency, area) duplicates.
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_matches_all_pairs_oracle_on_tied_grids(self, coordinates):
+        points = [
+            _point(index, float(latency), float(area))
+            for index, (latency, area) in enumerate(coordinates)
+        ]
+        got = pareto_front(points)
+        want = _pareto_front_all_pairs(points)
+        assert [point.name for point in got] == [point.name for point in want]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        coordinates=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_matches_all_pairs_oracle_on_float_points(self, coordinates):
+        points = [
+            _point(index, latency, area)
+            for index, (latency, area) in enumerate(coordinates)
+        ]
+        got = pareto_front(points)
+        want = _pareto_front_all_pairs(points)
+        assert [point.name for point in got] == [point.name for point in want]
+
+    def test_duplicates_of_a_front_point_all_survive(self):
+        points = [_point(0, 1.0, 2.0), _point(1, 1.0, 2.0), _point(2, 3.0, 1.0)]
+        front = pareto_front(points)
+        assert [point.name for point in front] == ["P0", "P1", "P2"]
+
+    def test_equal_latency_higher_area_is_dominated(self):
+        points = [_point(0, 1.0, 2.0), _point(1, 1.0, 3.0)]
+        assert [point.name for point in pareto_front(points)] == ["P0"]
+
+    def test_area_tie_at_larger_latency_is_dominated(self):
+        points = [_point(0, 1.0, 2.0), _point(1, 5.0, 2.0)]
+        assert [point.name for point in pareto_front(points)] == ["P0"]
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []

@@ -1,0 +1,452 @@
+"""Tests for the scenario-sweep subsystem (matrix, store, worker, runner, CLI)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import backend_geomeans, design_points_from_rows, pareto_rows, speedup_rows
+from repro.cli import main
+from repro.hw import AcceleratorConfig, design_preset
+from repro.sim import GNNIESimulator, sweep_designs
+from repro.sweep import (
+    ALL_BACKENDS,
+    DatasetCase,
+    ResultStore,
+    ScenarioMatrix,
+    SweepCell,
+    config_from_dict,
+    config_to_dict,
+    derive_seed,
+    full_matrix,
+    run_cell,
+    run_sweep,
+)
+from repro.sweep.store import canonical_row
+
+
+@pytest.fixture(scope="module")
+def small_matrix() -> ScenarioMatrix:
+    return ScenarioMatrix.build(
+        ["cora"], ["gcn", "gat"], backends=["gnnie", "awb-gcn"], scale=0.1, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def small_summary(small_matrix):
+    return run_sweep(small_matrix, jobs=1)
+
+
+class TestMatrix:
+    def test_axis_major_expansion_order(self):
+        matrix = ScenarioMatrix.build(
+            ["cora", "citeseer"], ["gcn", "gat"], backends=["gnnie", "engn"]
+        )
+        cells = matrix.cells()
+        assert len(cells) == len(matrix) == 8
+        assert [(c.dataset, c.family, c.backend) for c in cells[:4]] == [
+            ("cora", "gcn", "gnnie"),
+            ("cora", "gcn", "engn"),
+            ("cora", "gat", "gnnie"),
+            ("cora", "gat", "engn"),
+        ]
+        assert all(c.dataset == "citeseer" for c in cells[4:])
+
+    def test_derived_seeds_deterministic_and_shared_per_dataset(self):
+        matrix = full_matrix(seed=7)
+        cells = matrix.cells()
+        by_dataset = {}
+        for cell in cells:
+            by_dataset.setdefault(cell.dataset, set()).add(cell.seed)
+        # Every cell of one dataset shares one seed (same synthetic graph).
+        assert all(len(seeds) == 1 for seeds in by_dataset.values())
+        assert by_dataset["cora"] == {derive_seed(7, "cora")}
+        # Different base seed, different derived seeds.
+        assert derive_seed(7, "cora") != derive_seed(8, "cora")
+        assert derive_seed(7, "cora") != derive_seed(7, "citeseer")
+
+    def test_explicit_dataset_case_seed_wins(self):
+        matrix = ScenarioMatrix(
+            datasets=(DatasetCase("cora", scale=0.1, seed=42),),
+            families=("gcn",),
+        )
+        assert matrix.cells()[0].seed == 42
+
+    def test_cell_key_content_hash(self):
+        cell = SweepCell("cora", 0.1, 1, "gcn", "gnnie", AcceleratorConfig())
+        twin = SweepCell("cora", 0.1, 1, "gcn", "gnnie", AcceleratorConfig())
+        assert cell.key() == twin.key()
+        other_config = SweepCell("cora", 0.1, 1, "gcn", "gnnie", design_preset("A"))
+        other_seed = SweepCell("cora", 0.1, 2, "gcn", "gnnie", AcceleratorConfig())
+        assert len({cell.key(), other_config.key(), other_seed.key()}) == 3
+
+    def test_config_round_trip_restores_tuples(self):
+        config = design_preset("E").with_miss_path("victim", "stream")
+        restored = config_from_dict(json.loads(json.dumps(config_to_dict(config))))
+        assert restored == config
+        assert isinstance(restored.macs_per_group, tuple)
+        assert isinstance(restored.miss_path_mechanisms, tuple)
+
+    def test_full_matrix_shape(self):
+        matrix = full_matrix()
+        assert len(matrix) == 5 * 5 * len(ALL_BACKENDS)
+
+    def test_all_backends_tracks_the_live_registry(self):
+        import repro.sweep
+        from repro.plan import executor_names
+
+        assert repro.sweep.ALL_BACKENDS == executor_names()
+        assert set(ALL_BACKENDS) == {
+            "gnnie", "pyg-cpu", "pyg-gpu", "hygcn", "awb-gcn", "engn"
+        }
+
+    def test_configs_cross_only_config_sensitive_backends(self):
+        configs = (design_preset("A"), design_preset("E"))
+        matrix = ScenarioMatrix.build(
+            ["cora"], ["gcn"], backends=["gnnie", "pyg-cpu"], configs=configs
+        )
+        cells = matrix.cells()
+        # GNNIE sweeps both designs; the fixed-silicon baseline runs once.
+        assert len(matrix) == len(cells) == 3
+        assert [(c.backend, c.config.name) for c in cells] == [
+            ("gnnie", "Design A"),
+            ("gnnie", "Design E (GNNIE)"),
+            ("pyg-cpu", "Design A"),
+        ]
+        crossed = ScenarioMatrix.build(
+            ["cora"], ["gcn"], backends=["gnnie", "pyg-cpu"], configs=configs,
+            config_backends=None,
+        )
+        assert len(crossed) == len(crossed.cells()) == 4
+        # config_backends is case-normalized like the backend axis.
+        mixed = ScenarioMatrix.build(
+            ["cora"], ["gcn"], backends=["GNNIE"], configs=configs,
+            config_backends=["GNNIE"],
+        )
+        assert len(mixed) == 2
+
+
+class TestResultStore:
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append({"key": "a", "value": 1})
+        store.append({"key": "b", "value": 2})
+        reloaded = ResultStore(path)
+        assert len(reloaded) == 2
+        assert "a" in reloaded and reloaded.get("b") == {"key": "b", "value": 2}
+
+    def test_duplicate_key_not_rewritten(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append({"key": "a", "value": 1})
+        store.append({"key": "a", "value": 99})
+        assert ResultStore(path).get("a") == {"key": "a", "value": 1}
+        assert path.read_text().count('"key":"a"') == 1
+
+    def test_truncated_trailing_row_dropped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append({"key": "a", "value": 1})
+        with path.open("a") as handle:
+            handle.write('{"key":"b","val')  # killed mid-write
+        reloaded = ResultStore(path)
+        assert reloaded.dropped_partial_row
+        assert reloaded.keys() == {"a"}
+
+    def test_append_after_partial_row_does_not_corrupt(self, tmp_path):
+        """Loading truncates a partial tail so later appends start cleanly.
+
+        Regression test: append used to glue the new row onto the partial
+        line, which either lost the fsynced row on the next load or made the
+        whole store unloadable ('corrupt result store')."""
+        path = tmp_path / "store.jsonl"
+        ResultStore(path).append({"key": "a", "value": 1})
+        with path.open("a") as handle:
+            handle.write('{"key":"b","val')
+        recovered = ResultStore(path)
+        recovered.append({"key": "c", "value": 3})
+        recovered.append({"key": "d", "value": 4})
+        reloaded = ResultStore(path)
+        assert not reloaded.dropped_partial_row
+        assert reloaded.keys() == {"a", "c", "d"}
+
+    def test_parseable_tail_missing_newline_repaired(self, tmp_path):
+        """A tail row that lost only its newline must not glue later appends."""
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"key":"a"}\n{"key":"b"}')  # killed one byte short
+        recovered = ResultStore(path)
+        assert recovered.keys() == {"a", "b"} and not recovered.dropped_partial_row
+        recovered.append({"key": "c"})
+        assert ResultStore(path).keys() == {"a", "b", "c"}
+
+    def test_unparseable_complete_tail_is_corruption_not_a_partial(self, tmp_path):
+        """Appends always write 'row\\n', so a newline-terminated line can
+        never be a partial write — an unparseable one is real corruption."""
+        path = tmp_path / "store.jsonl"
+        path.write_text('{"key":"a"}\nnot json\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            ResultStore(path)
+        # The evidence is preserved, not silently truncated away.
+        assert path.read_text() == '{"key":"a"}\nnot json\n'
+
+    def test_corrupt_interior_row_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text('not json\n{"key":"a"}\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            ResultStore(path)
+
+    def test_no_resume_truncates(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        ResultStore(path).append({"key": "a"})
+        assert len(ResultStore(path, resume=False)) == 0
+        assert not path.exists()
+
+    def test_in_memory_store(self):
+        store = ResultStore(None)
+        store.append({"key": "a"})
+        assert len(store) == 1 and store.path is None
+
+
+class TestRunner:
+    def test_one_row_per_cell_in_matrix_order(self, small_matrix, small_summary):
+        cells = small_matrix.cells()
+        assert small_summary.total == len(cells) == 4
+        assert [row["key"] for row in small_summary.rows] == [c.key() for c in cells]
+
+    def test_unsupported_cells_have_null_metrics(self, small_summary):
+        gat_awb = [
+            row
+            for row in small_summary.rows
+            if row["backend"] == "awb-gcn" and row["family"] == "gat"
+        ]
+        assert len(gat_awb) == 1
+        assert gat_awb[0]["supported"] is False and gat_awb[0]["metrics"] is None
+
+    def test_resume_skips_completed_cells(self, small_matrix, tmp_path):
+        store_path = tmp_path / "resume.jsonl"
+        first = run_sweep(small_matrix, store=ResultStore(store_path), jobs=1)
+        assert (first.executed, first.skipped) == (4, 0)
+        second = run_sweep(small_matrix, store=ResultStore(store_path), jobs=1)
+        assert (second.executed, second.skipped) == (0, 4)
+        assert [canonical_row(r) for r in second.rows] == [
+            canonical_row(r) for r in first.rows
+        ]
+
+    def test_partial_store_resumes_remaining(self, small_matrix, tmp_path):
+        cells = small_matrix.cells()
+        store_path = tmp_path / "partial.jsonl"
+        run_sweep(cells[:2], store=ResultStore(store_path), jobs=1)
+        summary = run_sweep(small_matrix, store=ResultStore(store_path), jobs=1)
+        assert (summary.executed, summary.skipped) == (2, 2)
+
+    def test_parallel_matches_serial_byte_for_byte(self, small_matrix, small_summary):
+        parallel = run_sweep(small_matrix, jobs=2)
+        assert [canonical_row(r) for r in parallel.rows] == [
+            canonical_row(r) for r in small_summary.rows
+        ]
+
+    def test_progress_callback_sees_every_executed_cell(self, small_matrix):
+        seen = []
+        run_sweep(small_matrix, jobs=1, progress=lambda cell, row, done, total: seen.append((done, total)))
+        assert len(seen) == 4
+        assert seen[-1] == (4, 4)
+
+    def test_rejects_bad_jobs(self, small_matrix):
+        with pytest.raises(ValueError):
+            run_sweep(small_matrix, jobs=0)
+
+    def test_duplicate_cells_simulated_once(self, small_matrix):
+        cell = small_matrix.cells()[0]
+        summary = run_sweep([cell, cell, cell], jobs=1)
+        assert summary.total == 3
+        assert summary.executed == 1 and summary.skipped == 2
+        assert len(summary.rows) == 3
+        assert len({canonical_row(row) for row in summary.rows}) == 1
+
+    def test_worker_error_still_drains_finished_rows_to_store(self, tmp_path):
+        """One failing cell must not discard rows other workers completed."""
+        good = ScenarioMatrix.build(["cora"], ["gcn", "gat"], scale=0.1).cells()
+        bad = SweepCell("cora", 0.1, good[0].seed, "nosuch", "gnnie", AcceleratorConfig())
+        store_path = tmp_path / "err.jsonl"
+        with pytest.raises(KeyError, match="nosuch"):
+            run_sweep([*good, bad], store=ResultStore(store_path), jobs=2)
+        assert ResultStore(store_path).keys() == {cell.key() for cell in good}
+        # The resumed sweep re-executes only the failing cell.
+        with pytest.raises(KeyError, match="nosuch"):
+            run_sweep([*good, bad], store=ResultStore(store_path), jobs=2)
+
+    def test_rejects_caller_graphs_with_persistent_store(self, tiny_graph, tmp_path):
+        """Cell keys do not hash graph content, so a file-backed store could
+        resume rows computed from a different graph of the same name."""
+        cell = SweepCell(tiny_graph.name, None, 0, "gcn", "gnnie", AcceleratorConfig())
+        with pytest.raises(ValueError, match="in-memory store"):
+            run_sweep(
+                [cell],
+                store=ResultStore(tmp_path / "g.jsonl"),
+                graphs={tiny_graph.name: tiny_graph},
+            )
+
+    def test_unsupported_cell_never_builds_the_dataset(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("unsupported cell must not build its dataset")
+
+        monkeypatch.setattr("repro.datasets.synthetic.build_dataset", boom)
+        cell = SweepCell("reddit", None, 0, "gat", "awb-gcn", AcceleratorConfig())
+        row = run_cell(cell)
+        assert row["supported"] is False
+        assert row["dataset_abbrev"] == "RD"
+
+    def test_rows_independent_of_cell_order(self):
+        """A cell's row must not depend on cells run earlier in the process.
+
+        Regression test: the GNNIE executor shares one cache simulation per
+        (graph, buffer config), sized by whichever op primes it first — an
+        executor reused across cells made ginconv rows depend on whether a
+        gcn cell (different aggregation width) ran first in the same worker.
+        """
+        matrix = ScenarioMatrix.build(["cora"], ["gcn", "ginconv"], scale=0.1)
+        forward = run_sweep(matrix.cells(), jobs=1).rows
+        backward = run_sweep(list(reversed(matrix.cells())), jobs=1).rows
+        assert {canonical_row(r) for r in forward} == {canonical_row(r) for r in backward}
+
+    def test_caller_supplied_graph_used(self, tiny_graph):
+        cell = SweepCell(tiny_graph.name, None, 0, "gcn", "gnnie", AcceleratorConfig())
+        row = run_cell(cell, tiny_graph)
+        assert row["dataset_abbrev"] == tiny_graph.name
+        assert row["metrics"]["cycles"] > 0
+
+
+class TestDesignSpaceRerouting:
+    def test_sweep_designs_matches_direct_simulation(self, tiny_graph):
+        configs = [design_preset("A"), design_preset("E")]
+        points = sweep_designs(tiny_graph, "gcn", configs)
+        for config, point in zip(configs, points):
+            direct = GNNIESimulator(config).run(tiny_graph, "gcn")
+            assert point.cycles == direct.total_cycles
+            assert point.latency_seconds == pytest.approx(direct.latency_seconds, rel=1e-12)
+            assert point.energy_joules == pytest.approx(direct.energy_joules, rel=1e-12)
+
+    def test_sweep_designs_parallel_matches_serial(self, tiny_graph):
+        configs = [design_preset("A"), design_preset("E")]
+        serial = sweep_designs(tiny_graph, "gcn", configs)
+        parallel = sweep_designs(tiny_graph, "gcn", configs, jobs=2)
+        assert [(p.cycles, p.latency_seconds) for p in serial] == [
+            (p.cycles, p.latency_seconds) for p in parallel
+        ]
+
+
+class TestStoreBackedAggregation:
+    @pytest.fixture(scope="class")
+    def design_rows(self, tiny_graph):
+        matrix = ScenarioMatrix(
+            datasets=(DatasetCase(tiny_graph.name, seed=0),),
+            families=("gcn",),
+            backends=("gnnie",),
+            configs=tuple(design_preset(name) for name in ("A", "D", "E")),
+        )
+        return run_sweep(matrix, graphs={tiny_graph.name: tiny_graph}).rows
+
+    def test_design_points_round_trip(self, design_rows, tiny_graph):
+        points = design_points_from_rows(design_rows)
+        direct = sweep_designs(tiny_graph, "gcn", [design_preset(n) for n in ("A", "D", "E")])
+        assert [(p.name, p.cycles, p.total_macs) for p in points] == [
+            (p.name, p.cycles, p.total_macs) for p in direct
+        ]
+        assert all(p.config == d.config for p, d in zip(points, direct))
+
+    def test_pareto_rows_subset_of_points(self, design_rows):
+        front = pareto_rows(design_rows)
+        assert front
+        names = {p.name for p in design_points_from_rows(design_rows)}
+        assert {p.name for p in front} <= names
+
+    def test_speedup_rows_and_geomeans(self, small_summary):
+        entries = speedup_rows(small_summary.rows)
+        # awb-gcn supports only gcn -> exactly one speedup entry.
+        assert [e["backend"] for e in entries] == ["awb-gcn"]
+        assert entries[0]["speedup"] > 0
+        geomeans = backend_geomeans(small_summary.rows)
+        assert set(geomeans) == {"awb-gcn"}
+        assert geomeans["awb-gcn"]["cells"] == 1
+
+
+class TestSweepCLI:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["sweep"])
+        assert args.datasets == "all" and args.models == "all" and args.backends == "all"
+        assert args.jobs == 1 and args.store == "sweep.jsonl" and not args.no_resume
+
+    def test_sweep_command_then_resume(self, tmp_path, capsys):
+        store = str(tmp_path / "cli.jsonl")
+        argv = [
+            "sweep",
+            "--datasets", "cora",
+            "--models", "gcn",
+            "--backends", "gnnie,engn",
+            "--scale", "0.1",
+            "--store", store,
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["total"] == 2 and first["executed"] == 2
+        assert len(first["rows"]) == 2
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["executed"] == 0 and second["skipped"] == 2
+        assert second["rows"] == first["rows"]
+
+    def test_sweep_command_table_output(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--datasets", "cora",
+            "--models", "gcn",
+            "--backends", "gnnie,pyg-cpu",
+            "--scale", "0.1",
+            "--store", str(tmp_path / "t.jsonl"),
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "2 cells (2 executed" in output
+        assert "pyg-cpu" in output
+
+    def test_sweep_rejects_unknown_axis_values(self, tmp_path, capsys):
+        argv = ["sweep", "--datasets", "imagenet", "--store", str(tmp_path / "x.jsonl")]
+        assert main(argv) == 2
+        assert "unknown datasets" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_jobs_and_scale(self, tmp_path, capsys):
+        store = str(tmp_path / "x.jsonl")
+        assert main(["sweep", "--jobs", "0", "--store", store]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["sweep", "--scale", "2.0", "--store", store]) == 2
+        assert "(0, 1]" in capsys.readouterr().err
+
+    def test_sweep_reports_corrupt_store_cleanly(self, tmp_path, capsys):
+        store = tmp_path / "corrupt.jsonl"
+        store.write_text('not json\n{"key":"a"}\n')
+        assert main(["sweep", "--datasets", "cora", "--store", str(store)]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_sweep_designs_axis(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "--datasets", "cora",
+            "--models", "gcn",
+            "--backends", "gnnie",
+            "--designs", "A,E",
+            "--scale", "0.1",
+            "--store", str(tmp_path / "d.jsonl"),
+            "--json",
+        ]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total"] == 2
+        assert {row["config_name"] for row in report["rows"]} == {
+            "Design A",
+            "Design E (GNNIE)",
+        }
