@@ -17,12 +17,14 @@ from repro.analysis.speedup import (
 )
 from repro.analysis.sweep_aggregate import (
     backend_geomeans,
+    beta_rows,
     design_points_from_rows,
     geomean_table_rows,
     load_rows,
     pareto_rows,
     speedup_rows,
 )
+from repro.analysis.tune_report import tune_report, tune_table_rows
 from repro.analysis.workload import (
     RowWorkloadProfile,
     beta_metric,
@@ -46,11 +48,14 @@ __all__ = [
     "geometric_mean",
     "speedup_table",
     "backend_geomeans",
+    "beta_rows",
     "design_points_from_rows",
     "geomean_table_rows",
     "load_rows",
     "pareto_rows",
     "speedup_rows",
+    "tune_report",
+    "tune_table_rows",
     "RowWorkloadProfile",
     "weighting_row_profile",
     "beta_metric",

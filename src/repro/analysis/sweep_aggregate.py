@@ -16,10 +16,13 @@ any simulation:
 
 from __future__ import annotations
 
+import json
+import math
 import os
 from typing import Iterable
 
 from repro.analysis.speedup import geometric_mean
+from repro.hw.config import AcceleratorConfig
 from repro.sim.design_space import DesignPoint, pareto_front
 from repro.sweep.matrix import config_from_dict
 from repro.sweep.store import ResultStore
@@ -29,9 +32,21 @@ __all__ = [
     "design_points_from_rows",
     "pareto_rows",
     "speedup_rows",
+    "beta_rows",
     "backend_geomeans",
     "geomean_table_rows",
 ]
+
+
+def _config_key(row: dict) -> str:
+    """Content key of a row's serialized configuration.
+
+    Reference rows used to be keyed by ``config_name``, so two distinct
+    configurations sharing a display name (two ``replace()``-built variants
+    both named "GNNIE") silently collapsed to whichever row came last; the
+    canonical JSON of the full config dict cannot collide that way.
+    """
+    return json.dumps(row["config"], sort_keys=True, separators=(",", ":"))
 
 
 def load_rows(store: ResultStore | str | os.PathLike) -> list[dict]:
@@ -80,6 +95,42 @@ def pareto_rows(rows: Iterable[dict]) -> list[DesignPoint]:
     return pareto_front(design_points_from_rows(rows))
 
 
+def beta_rows(
+    rows: Iterable[dict], *, baseline: AcceleratorConfig | str = "Design A"
+) -> list[dict]:
+    """β (speedup gain per added MAC, Eq. 9) of every GNNIE design in a sweep.
+
+    ``baseline`` selects the reference design — an
+    :class:`~repro.hw.config.AcceleratorConfig` matched by content, or a
+    design name matched against ``DesignPoint.name``.  Designs that add no
+    MACs over the baseline (including the baseline itself) carry a null β,
+    mirroring :meth:`~repro.sim.design_space.DesignPoint.beta_versus`.
+    Entries are sorted by β, best first (nulls last).
+    """
+    points = design_points_from_rows(rows)
+    if isinstance(baseline, str):
+        references = [point for point in points if point.name == baseline]
+    else:
+        references = [point for point in points if point.config == baseline]
+    if not references:
+        raise ValueError(f"no GNNIE row matches the β baseline {baseline!r}")
+    reference = references[0]
+    entries = []
+    for point in points:
+        beta = point.beta_versus(reference)
+        entries.append(
+            {
+                "name": point.name,
+                "total_macs": point.total_macs,
+                "cycles": point.cycles,
+                "area_mm2": point.area_mm2,
+                "beta": None if math.isnan(beta) else beta,
+            }
+        )
+    entries.sort(key=lambda entry: (entry["beta"] is None, -(entry["beta"] or 0.0)))
+    return entries
+
+
 def speedup_rows(rows: Iterable[dict]) -> list[dict]:
     """GNNIE-relative speedup and energy-gain per (dataset, family, backend).
 
@@ -90,14 +141,14 @@ def speedup_rows(rows: Iterable[dict]) -> list[dict]:
     """
     rows = list(rows)
     gnnie = {
-        (row["dataset"], row["family"], row["config_name"]): row["metrics"]
+        (row["dataset"], row["family"], _config_key(row)): row["metrics"]
         for row in _gnnie_rows(rows)
     }
     entries: list[dict] = []
     for row in rows:
         if row["backend"] == "gnnie" or not row["supported"]:
             continue
-        reference = gnnie.get((row["dataset"], row["family"], row["config_name"]))
+        reference = gnnie.get((row["dataset"], row["family"], _config_key(row)))
         if reference is None or reference["latency_seconds"] <= 0:
             continue
         metrics = row["metrics"]

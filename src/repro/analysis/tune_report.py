@@ -1,0 +1,101 @@
+"""Store-backed reporting for autotuning runs (`repro.tune`).
+
+A tuning run leaves its evaluated cells in the same JSONL
+:class:`~repro.sweep.store.ResultStore` format as any sweep, so the report
+is a pure function of the store — rebuild it any time, from any process,
+without re-simulating:
+
+* the latency/area Pareto front among the evaluated designs,
+* β versus the baseline design (Eq. 9, the Fig. 17 metric) for every
+  design, and the best-β winner,
+* per-backend geometric means, when the store also holds baseline-platform
+  rows (a tuner store sweeping only GNNIE reports an empty table).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.analysis.sweep_aggregate import (
+    backend_geomeans,
+    beta_rows,
+    design_points_from_rows,
+    load_rows,
+    pareto_rows,
+)
+from repro.hw.config import AcceleratorConfig
+from repro.sweep.store import ResultStore
+
+__all__ = ["tune_report", "tune_table_rows"]
+
+
+def tune_report(
+    store: ResultStore | str | os.PathLike | Iterable[dict],
+    *,
+    dataset: str | None = None,
+    family: str | None = None,
+    baseline: AcceleratorConfig | str = "Design A",
+) -> dict:
+    """Aggregate a (finished or in-progress) tuning store into one report.
+
+    Args:
+        store: A result store, its path, or an iterable of rows.
+        dataset / family: Optional filters when one store mixes workloads.
+        baseline: β reference — a config matched by content or a design
+            name; designs adding no MACs over it carry a null β.
+
+    Returns:
+        A dict with ``cells`` (GNNIE rows aggregated), ``best`` (highest-β
+        entry or None), ``beta`` (every design, best first), ``pareto``
+        (front, fastest first) and ``geomeans``.
+    """
+    if isinstance(store, (str, os.PathLike, ResultStore)):
+        rows = load_rows(store)
+    else:
+        rows = list(store)
+    if dataset is not None:
+        rows = [row for row in rows if row["dataset"] == dataset.lower()]
+    if family is not None:
+        rows = [row for row in rows if row["family"] == family.lower()]
+
+    points = design_points_from_rows(rows)
+    try:
+        betas = beta_rows(rows, baseline=baseline) if points else []
+    except ValueError:
+        # The baseline was not part of this store (e.g. a filtered view).
+        betas = []
+    best = next((entry for entry in betas if entry["beta"] is not None), None)
+    front = pareto_rows(rows)
+    return {
+        "cells": len(points),
+        "best": best,
+        "beta": betas,
+        "pareto": [
+            {
+                "name": point.name,
+                "total_macs": point.total_macs,
+                "cycles": point.cycles,
+                "area_mm2": round(point.area_mm2, 3),
+                "latency_us": round(point.latency_seconds * 1e6, 3),
+            }
+            for point in front
+        ],
+        "geomeans": backend_geomeans(rows),
+    }
+
+
+def tune_table_rows(report: dict, *, limit: int = 10) -> list[dict]:
+    """The report's β ranking as printable table rows (CLI, benchmarks)."""
+    rows = []
+    for entry in report["beta"][:limit]:
+        rows.append(
+            {
+                "design": entry["name"],
+                "total_macs": entry["total_macs"],
+                "cycles": entry["cycles"],
+                "area_mm2": round(entry["area_mm2"], 3),
+                "beta": None if entry["beta"] is None else round(entry["beta"], 4),
+            }
+        )
+    return rows

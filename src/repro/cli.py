@@ -38,6 +38,14 @@ result store, fanning cells across worker processes::
     python -m repro sweep --datasets cora,citeseer --models gcn,gat \\
         --backends gnnie,pyg-cpu --scale 0.1 --jobs 2 --store sweep.jsonl
     python -m repro sweep --store sweep.jsonl --json   # resumes: skips done cells
+
+Close the design-space loop: generations of sweep -> aggregate -> propose,
+resumable through the same store machinery::
+
+    python -m repro tune --dataset cora --model gcn --generations 4 \\
+        --population 6 --mac-budget 1280 --jobs 2 --store tune.jsonl
+    python -m repro tune --dataset cora --model gcn --generations 4 \\
+        --population 6 --store tune.jsonl --json   # resume: 0 executed
 """
 
 from __future__ import annotations
@@ -209,6 +217,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
+    tune_parser = subparsers.add_parser(
+        "tune",
+        help="closed-loop autotuner: sweep -> aggregate -> propose over generations",
+    )
+    tune_parser.add_argument(
+        "--dataset", default="cora", choices=dataset_names(), help="benchmark dataset"
+    )
+    tune_parser.add_argument(
+        "--model", default="gcn", choices=list(MODEL_FAMILIES), help="GNN family (Table III)"
+    )
+    tune_parser.add_argument(
+        "--scale", type=float, default=None, help="dataset scale factor in (0, 1]"
+    )
+    tune_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for the dataset and the per-generation proposer RNG",
+    )
+    tune_parser.add_argument(
+        "--generations", type=int, default=4, help="generations of the closed loop"
+    )
+    tune_parser.add_argument(
+        "--population", type=int, default=6, help="candidate configurations per generation"
+    )
+    tune_parser.add_argument(
+        "--mac-budget", type=int, default=1280,
+        help="total-MAC admissibility budget for proposed allocations",
+    )
+    tune_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes per generation sweep"
+    )
+    tune_parser.add_argument(
+        "--store", default="tune.jsonl", help="resumable result store path (JSONL)"
+    )
+    tune_parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="truncate an existing store instead of serving its completed cells",
+    )
+    tune_parser.add_argument(
+        "--json", action="store_true", help="emit the full tuning report as JSON"
+    )
+    tune_parser.set_defaults(handler=_cmd_tune)
+
     return parser
 
 
@@ -372,7 +423,7 @@ def _cmd_designs(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     graph = build_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    config = AcceleratorConfig().with_input_buffer_for(graph.name)
+    config = AcceleratorConfig().resolve_input_buffer(graph.name)
     try:
         capacity, record_bytes = input_buffer_capacity(
             graph.adjacency, config, args.feature_length
@@ -462,11 +513,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         datasets, models, backends=backends, configs=configs, scale=args.scale, seed=args.seed
     )
 
-    def progress(cell, row, done, total):
+    def progress(cell, row, done, total, cached):
         status = "ok" if row["supported"] else "unsupported"
+        if cached:
+            status += " (resumed)"
         print(f"  [{done}/{total}] {cell.describe()}: {status}", file=sys.stderr)
 
-    summary = run_sweep(matrix, store=store, jobs=args.jobs, progress=progress)
+    try:
+        summary = run_sweep(matrix, store=store, jobs=args.jobs, progress=progress)
+    except ValueError as error:  # e.g. an old-format store
+        print(str(error), file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(summary.as_dict(), indent=2))
         return 0
@@ -478,6 +535,67 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if rows:
         print()
         print(format_table(rows, title="GNNIE geomean speedup / energy gain per backend"))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.analysis import tune_table_rows
+    from repro.analysis.tune_report import tune_report
+    from repro.tune import TuneSpec, run_tune
+
+    try:
+        if args.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+        if args.scale is not None and not 0 < args.scale <= 1:
+            raise ValueError("--scale must be in (0, 1]")
+        spec = TuneSpec(
+            dataset=args.dataset,
+            family=args.model,
+            scale=args.scale,
+            seed=args.seed,
+            generations=args.generations,
+            population=args.population,
+            mac_budget=args.mac_budget,
+        )
+        store = ResultStore(args.store, resume=not args.no_resume)
+    except (ValueError, KeyError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+
+    try:
+        result = run_tune(
+            spec,
+            store=store,
+            jobs=args.jobs,
+            log=lambda line: print(line, file=sys.stderr),
+        )
+    except ValueError as error:  # e.g. an old-format store
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+    print(
+        f"tune: {len(result.generations)} generations, "
+        f"{result.evaluated_cells} unique cells "
+        f"({result.executed_cells} executed, "
+        f"{result.evaluated_cells - result.executed_cells} resumed) -> {result.store_path}"
+    )
+    report = tune_report(
+        store, dataset=spec.dataset, family=spec.family, baseline=spec.baseline
+    )
+    rows = tune_table_rows(report)
+    if rows:
+        print()
+        print(
+            format_table(
+                rows,
+                title=f"Autotuned designs by β ({spec.family.upper()} on {spec.dataset}, "
+                f"baseline {spec.baseline.name})",
+            )
+        )
+    if result.best is not None:
+        print(f"\nbest design: {result.best['name']} (β = {result.best['beta']:.4f})")
     return 0
 
 

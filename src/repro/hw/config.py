@@ -41,7 +41,13 @@ class AcceleratorConfig:
     frequency_hz: float = 1.3e9
 
     # --- On-chip buffers ------------------------------------------------ #
-    input_buffer_bytes: int = 512 * 1024
+    #: Input-buffer capacity.  ``None`` is the auto-sizing sentinel: "use the
+    #: paper's per-dataset sizing" (256 KB small / 512 KB large, Section
+    #: VIII-A), resolved against a dataset exactly once, in
+    #: :meth:`resolve_input_buffer`.  An explicit integer is respected
+    #: everywhere — simulation, area and energy all see the same capacity —
+    #: which is what makes input-buffer sweeps meaningful.
+    input_buffer_bytes: int | None = None
     output_buffer_bytes: int = 1024 * 1024
     weight_buffer_bytes: int = 128 * 1024
     #: Partial-sum slots available per MPE (limits in-flight vertices).
@@ -101,6 +107,11 @@ class AcceleratorConfig:
             )
         if self.gamma < 0:
             raise ValueError("gamma must be non-negative")
+        if self.input_buffer_bytes is not None and self.input_buffer_bytes <= 0:
+            raise ValueError(
+                "input_buffer_bytes must be positive (or None for the paper's "
+                "per-dataset auto sizing)"
+            )
         if self.victim_cache_entries <= 0 or self.miss_cache_entries <= 0:
             raise ValueError("victim/miss cache capacities must be positive")
         if self.stream_buffer_count <= 0 or self.stream_buffer_depth <= 0:
@@ -161,15 +172,44 @@ class AcceleratorConfig:
         """
         return replace(self, miss_path_mechanisms=tuple(mechanisms), **sizing)
 
+    @property
+    def input_buffer_bytes_or_default(self) -> int:
+        """Concrete input-buffer capacity for dataset-independent consumers.
+
+        The area model (and anything else that needs a capacity without a
+        dataset in hand) cannot resolve the per-dataset auto sizing, so the
+        sentinel falls back to the paper's large-dataset 512 KB — the value
+        the field used to default to, keeping default-config areas
+        byte-identical across the sentinel change.
+        """
+        if self.input_buffer_bytes is not None:
+            return self.input_buffer_bytes
+        return 512 * 1024
+
     def with_input_buffer_for(self, dataset_abbreviation: str) -> "AcceleratorConfig":
         """Return a copy with the paper's per-dataset input buffer sizing.
 
         256 KB for the small citation graphs (Cora, Citeseer), 512 KB for
-        Pubmed, PPI and Reddit (Section VIII-A).
+        Pubmed, PPI and Reddit (Section VIII-A).  This *always* applies the
+        paper sizing, overwriting any explicit capacity; callers honouring
+        explicit overrides should use :meth:`resolve_input_buffer` instead.
         """
         small = dataset_abbreviation.upper() in ("CR", "CS", "CORA", "CITESEER")
         size = 256 * 1024 if small else 512 * 1024
         return replace(self, input_buffer_bytes=size)
+
+    def resolve_input_buffer(self, dataset_abbreviation: str) -> "AcceleratorConfig":
+        """Resolve the auto-sizing sentinel against a dataset.
+
+        The single place the ``input_buffer_bytes is None`` sentinel turns
+        into a concrete capacity: when no explicit size is set, apply the
+        paper's per-dataset sizing; an explicit size is returned untouched,
+        so sweep cells that pin ``input_buffer_bytes`` actually simulate the
+        capacity they claim (the input-buffer axis regression).
+        """
+        if self.input_buffer_bytes is not None:
+            return self
+        return self.with_input_buffer_for(dataset_abbreviation)
 
     def without_optimizations(self) -> "AcceleratorConfig":
         """Baseline variant: uniform MACs, no LR, no degree caching, no LB."""

@@ -146,7 +146,9 @@ class AreaModel:
 
     def chip_area_mm2(self, config: AcceleratorConfig, *, num_sfu_columns: int = 4) -> float:
         buffer_mb = (
-            config.input_buffer_bytes + config.output_buffer_bytes + config.weight_buffer_bytes
+            config.input_buffer_bytes_or_default
+            + config.output_buffer_bytes
+            + config.weight_buffer_bytes
         ) / (1024 * 1024)
         return (
             self.mac_area_mm2 * config.total_macs

@@ -8,6 +8,7 @@ from repro.sim.aggregation_sim import (
 )
 from repro.sim.design_space import (
     DesignPoint,
+    admissible_mac_allocation,
     pareto_front,
     sweep_buffer_sizes,
     sweep_designs,
@@ -23,6 +24,7 @@ __all__ = [
     "GNNIESimulator",
     "GNNIEExecutor",
     "DesignPoint",
+    "admissible_mac_allocation",
     "sweep_designs",
     "sweep_mac_allocations",
     "sweep_buffer_sizes",

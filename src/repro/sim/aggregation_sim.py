@@ -48,7 +48,7 @@ def input_buffer_capacity(
         adjacency.average_degree(),
         bytes_per_value=config.bytes_per_value,
     )
-    return max(1, config.input_buffer_bytes // record_bytes), record_bytes
+    return max(1, config.input_buffer_bytes_or_default // record_bytes), record_bytes
 
 
 def run_cache_simulation(

@@ -31,11 +31,38 @@ from repro.hw.energy import AreaModel
 
 __all__ = [
     "DesignPoint",
+    "admissible_mac_allocation",
     "sweep_designs",
     "sweep_mac_allocations",
     "sweep_buffer_sizes",
     "pareto_front",
 ]
+
+
+def admissible_mac_allocation(
+    allocation: Sequence[int],
+    *,
+    group_sizes: Sequence[int],
+    num_cols: int,
+    mac_budget: int,
+) -> bool:
+    """Whether a MAC-per-row-group allocation is architecturally admissible.
+
+    The two rules :func:`sweep_mac_allocations` enumerates under — shared
+    with the :mod:`repro.tune` proposer so tuned candidates obey exactly the
+    grid's constraints:
+
+    * monotonically non-decreasing across row groups (paper, Section IV-C),
+    * total MACs within ``mac_budget``.
+    """
+    if len(allocation) != len(group_sizes):
+        return False
+    if any(macs <= 0 for macs in allocation):
+        return False
+    if list(allocation) != sorted(allocation):
+        return False
+    total = sum(macs * rows * num_cols for macs, rows in zip(allocation, group_sizes))
+    return total <= mac_budget
 
 
 @dataclass(frozen=True)
@@ -51,7 +78,13 @@ class DesignPoint:
     energy_joules: float
 
     @property
-    def cycles_per_mm2(self) -> float:
+    def cycle_area_product(self) -> float:
+        """Cost product ``cycles × area_mm2`` (lower is better on both axes).
+
+        Formerly misnamed ``cycles_per_mm2``, which implied a ratio; the
+        value has always been the product, the scalar the cost-to-benefit
+        exploration minimizes.
+        """
         return self.cycles * self.area_mm2
 
     def beta_versus(self, baseline: "DesignPoint") -> float:
@@ -123,10 +156,9 @@ def sweep_mac_allocations(
     base = base_config or AcceleratorConfig()
     configs: list[AcceleratorConfig] = []
     for allocation in product(candidate_macs, repeat=len(group_sizes)):
-        if list(allocation) != sorted(allocation):
-            continue
-        total = sum(m * rows * num_cols for m, rows in zip(allocation, group_sizes))
-        if total > mac_budget:
+        if not admissible_mac_allocation(
+            allocation, group_sizes=group_sizes, num_cols=num_cols, mac_budget=mac_budget
+        ):
             continue
         configs.append(
             replace(

@@ -82,8 +82,10 @@ class GNNIESimulator:
             family: GNN family name ("gcn", "gat", "graphsage", "ginconv",
                 "diffpool", or any family with a registered lowering rule).
             config: Optional accelerator configuration override; defaults to
-                the simulator's configuration with the paper's per-dataset
-                input-buffer sizing applied.
+                the simulator's configuration.  A configuration whose
+                ``input_buffer_bytes`` is the ``None`` auto-sizing sentinel
+                gets the paper's per-dataset input-buffer sizing; an explicit
+                capacity is simulated as-is.
             model_cfg: Optional Table III configuration override.
             out_features: Output width of the last layer (defaults to the
                 dataset's label count).

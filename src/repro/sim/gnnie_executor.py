@@ -110,7 +110,9 @@ class GNNIEExecutor:
         config: AcceleratorConfig | None = None,
     ) -> InferenceResult:
         """Run one lowered inference on one dataset graph."""
-        cfg = (config or self.config).with_input_buffer_for(graph.name)
+        # Auto-sizing sentinel only: an explicit input_buffer_bytes override
+        # (e.g. a buffer-sweep cell) is simulated at the capacity it names.
+        cfg = (config or self.config).resolve_input_buffer(graph.name)
         adjacencies: dict[AdjacencyRef, CSRGraph] = {}
         layers = [
             self._execute_layer(stage, graph, cfg, adjacencies) for stage in plan.layers

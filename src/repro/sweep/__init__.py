@@ -31,7 +31,7 @@ from repro.sweep.matrix import (
 )
 from repro.sweep.runner import SweepSummary, run_sweep
 from repro.sweep.store import ResultStore, canonical_row
-from repro.sweep.worker import run_cell
+from repro.sweep.worker import ROW_FORMAT, run_cell
 
 
 def __getattr__(name: str):
@@ -50,6 +50,7 @@ __all__ = [
     "ScenarioMatrix",
     "SweepCell",
     "SweepSummary",
+    "ROW_FORMAT",
     "ResultStore",
     "canonical_row",
     "config_from_dict",

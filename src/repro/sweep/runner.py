@@ -23,12 +23,38 @@ from typing import Callable, Sequence
 
 from repro.sweep.matrix import ScenarioMatrix, SweepCell
 from repro.sweep.store import ResultStore
-from repro.sweep.worker import run_cell, seed_graph_overrides
+from repro.sweep.worker import ROW_FORMAT, run_cell, seed_graph_overrides
 
 __all__ = ["SweepSummary", "run_sweep"]
 
-#: Progress callback signature: (cell, row, completed_count, total_count).
-ProgressCallback = Callable[[SweepCell, dict, int, int], None]
+#: Progress callback signature:
+#: (cell, row, completed_count, total_count, cached) — ``cached`` is True
+#: for cells served from the result store (resume) instead of executed, so
+#: a ``done/total`` counter advances smoothly across both paths.
+ProgressCallback = Callable[[SweepCell, dict, int, int, bool], None]
+
+
+def _check_store_format(store: ResultStore) -> None:
+    """Refuse to resume from a store whose cell keys predate this version.
+
+    Sweep rows carry a ``row_format`` stamp (see
+    :data:`repro.sweep.worker.ROW_FORMAT`).  A store written before the
+    current format hashes cells differently, so resuming from it would
+    silently re-execute every cell while the stale rows keep polluting
+    aggregation — a clear error beats that confusion.  Rows without a
+    ``config`` field are not sweep rows (the store is a generic JSONL
+    keyed store) and are left alone.
+    """
+    for row in store.rows():
+        if "config" in row and row.get("row_format") != ROW_FORMAT:
+            raise ValueError(
+                f"result store {store.path} holds rows in format "
+                f"{row.get('row_format', 1)!r} but this version writes format "
+                f"{ROW_FORMAT} (cell keys changed with the input-buffer "
+                "auto-sizing sentinel); resuming would re-execute every cell "
+                "next to the stale rows.  Start a fresh store path or pass "
+                "--no-resume (ResultStore(..., resume=False)) to rebuild it."
+            )
 
 
 @dataclass
@@ -82,7 +108,10 @@ def run_sweep(
             graph content, so a persistent store could silently serve rows
             computed from a *different* caller-supplied graph of the same
             name on a later run.
-        progress: Optional callback invoked after each cell completes.
+        progress: Optional callback invoked once per cell — after execution
+            for fresh cells, and during the initial store scan for resumed
+            ones (final argument ``cached=True``), so ``done/total``
+            accounting covers every cell exactly once.
 
     Returns:
         A :class:`SweepSummary` with rows in matrix cell order.
@@ -102,16 +131,23 @@ def run_sweep(
             "rows computed from a different graph with the same name"
         )
 
+    _check_store_format(store)
     results: dict[int, dict] = {}
     # Duplicate-key cells execute once; the row fans out to every holder.
     pending: dict[str, list[tuple[int, SweepCell]]] = {}
+    completed = 0
     for index, cell in enumerate(cells):
         cached = store.get(cell.key())
         if cached is not None:
             results[index] = cached
+            completed += 1
+            # Store-resumed cells report progress too (flagged cached), so a
+            # resumed sweep's done/total counter starts where it left off
+            # instead of jumping over the resumed prefix.
+            if progress is not None:
+                progress(cell, cached, completed, len(cells), True)
         else:
             pending.setdefault(cell.key(), []).append((index, cell))
-    completed = len(results)
 
     def finish(key: str, row: dict) -> None:
         nonlocal completed
@@ -120,7 +156,7 @@ def run_sweep(
             results[index] = row
             completed += 1
             if progress is not None:
-                progress(cell, row, completed, len(cells))
+                progress(cell, row, completed, len(cells), False)
 
     if jobs == 1 or not pending:
         for key, holders in pending.items():

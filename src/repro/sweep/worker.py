@@ -28,7 +28,16 @@ from repro.sweep.matrix import SweepCell, config_to_dict
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.graph import Graph
 
-__all__ = ["run_cell"]
+__all__ = ["ROW_FORMAT", "run_cell"]
+
+#: Result-row schema version, stamped into every row :func:`run_cell` emits.
+#: Bumped when the cell-key derivation changes incompatibly, so resuming a
+#: sweep from a store written before the change fails with a clear error
+#: instead of silently re-executing every cell next to the stale rows.
+#: History: 2 — ``AcceleratorConfig.input_buffer_bytes`` grew the ``None``
+#: auto-sizing sentinel (default configs now serialize ``null`` instead of
+#: 524288, changing every default-config cell key).
+ROW_FORMAT = 2
 
 #: Per-process dataset memo: (dataset, scale, seed) -> Graph.  Bounded so
 #: the jobs=1 path (which runs in the caller's process and lives as long as
@@ -95,6 +104,7 @@ def run_cell(cell: SweepCell, graph: "Graph | None" = None) -> dict:
 
     backend = executor(cell.backend)
     row = {
+        "row_format": ROW_FORMAT,
         "key": cell.key(),
         "dataset": cell.dataset,
         "dataset_abbrev": _abbreviation_for(cell, graph),

@@ -40,6 +40,29 @@ class TestAcceleratorConfig:
         assert config.with_input_buffer_for("PB").input_buffer_bytes == 512 * 1024
         assert config.with_input_buffer_for("RD").input_buffer_bytes == 512 * 1024
 
+    def test_input_buffer_auto_sentinel_default(self):
+        config = AcceleratorConfig()
+        assert config.input_buffer_bytes is None
+        # Dataset-independent consumers (the area model) fall back to the
+        # paper's large-dataset sizing — the field's former default.
+        assert config.input_buffer_bytes_or_default == 512 * 1024
+
+    def test_resolve_input_buffer_applies_paper_sizing_only_when_auto(self):
+        auto = AcceleratorConfig()
+        assert auto.resolve_input_buffer("CR").input_buffer_bytes == 256 * 1024
+        assert auto.resolve_input_buffer("RD").input_buffer_bytes == 512 * 1024
+        explicit = replace(auto, input_buffer_bytes=128 * 1024)
+        # An explicit override is never clobbered by the per-dataset sizing.
+        assert explicit.resolve_input_buffer("CR") is explicit
+        assert explicit.resolve_input_buffer("RD").input_buffer_bytes == 128 * 1024
+        assert explicit.input_buffer_bytes_or_default == 128 * 1024
+
+    def test_validation_input_buffer_bytes(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(input_buffer_bytes=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(input_buffer_bytes=-1)
+
     def test_without_optimizations(self):
         baseline = AcceleratorConfig().without_optimizations()
         assert baseline.total_macs == 1024

@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.hw import AcceleratorConfig, design_preset
 from repro.sim import (
+    admissible_mac_allocation,
     pareto_front,
     sweep_buffer_sizes,
     sweep_designs,
@@ -48,6 +49,52 @@ class TestSweepDesigns:
         assert math.isnan(design_a.beta_versus(design_a))
 
 
+class TestCycleAreaProduct:
+    def test_is_the_product_not_a_ratio(self):
+        """Pin the renamed metric's semantics: cycles × mm², a cost scalar.
+
+        The property was formerly (mis)named ``cycles_per_mm2`` while always
+        computing the product.
+        """
+        point = _point(4, 1.0, 2.5)  # cycles=4, area=2.5 mm²
+        assert point.cycle_area_product == pytest.approx(4 * 2.5)
+        assert not hasattr(point, "cycles_per_mm2")
+
+
+class TestAdmissibleMacAllocation:
+    def test_paper_allocation_admissible(self):
+        assert admissible_mac_allocation(
+            (4, 5, 6), group_sizes=(8, 4, 4), num_cols=16, mac_budget=1280
+        )
+
+    def test_rejects_non_monotonic(self):
+        assert not admissible_mac_allocation(
+            (6, 5, 4), group_sizes=(8, 4, 4), num_cols=16, mac_budget=10_000
+        )
+
+    def test_rejects_over_budget(self):
+        assert not admissible_mac_allocation(
+            (8, 8, 8), group_sizes=(8, 4, 4), num_cols=16, mac_budget=1280
+        )
+
+    def test_rejects_shape_mismatch_and_nonpositive(self):
+        assert not admissible_mac_allocation(
+            (4, 5), group_sizes=(8, 4, 4), num_cols=16, mac_budget=1280
+        )
+        assert not admissible_mac_allocation(
+            (0, 1, 2), group_sizes=(8, 4, 4), num_cols=16, mac_budget=1280
+        )
+
+    def test_grid_enumerates_only_admissible(self):
+        for config in sweep_mac_allocations(mac_budget=1216):
+            assert admissible_mac_allocation(
+                config.macs_per_group,
+                group_sizes=config.rows_per_group,
+                num_cols=16,
+                mac_budget=1216,
+            )
+
+
 class TestMacAllocationSweep:
     def test_respects_budget_and_monotonicity(self):
         configs = sweep_mac_allocations(mac_budget=1216, candidate_macs=(3, 4, 5, 6))
@@ -77,6 +124,30 @@ class TestBufferSweepAndPareto:
         )
         assert len(points) == 2
         assert {point.config.input_buffer_bytes for point in points} == {128 * 1024, 512 * 1024}
+
+    def test_input_buffer_axis_changes_cycles_not_just_area(self, medium_graph):
+        """The headline regression: explicit input-buffer sizes must reach
+        the simulator.
+
+        ``GNNIEExecutor.execute`` used to unconditionally re-apply the
+        paper's per-dataset sizing, clobbering a sweep cell's explicit
+        ``input_buffer_bytes`` while the area model still saw the override —
+        so the input axis of a buffer sweep moved area but never cycles and
+        "smallest buffer always wins" on the Pareto front.
+        """
+        small_kib, large_kib = 2, 64
+        points = sweep_buffer_sizes(
+            medium_graph,
+            "gcn",
+            input_buffer_kib=(small_kib, large_kib),
+            output_buffer_kib=(1024,),
+        )
+        cycles = {p.config.input_buffer_bytes: p.cycles for p in points}
+        areas = {p.config.input_buffer_bytes: p.area_mm2 for p in points}
+        # Cycles respond to the input axis — the starved buffer refetches.
+        assert cycles[small_kib * 1024] > cycles[large_kib * 1024]
+        # Area still responds too (it always did).
+        assert areas[small_kib * 1024] < areas[large_kib * 1024]
 
     def test_pareto_front_filters_dominated(self, tiny_graph):
         configs = [design_preset(name) for name in ("A", "B", "C", "D", "E")]

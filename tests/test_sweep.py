@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 
 import pytest
 
@@ -87,6 +88,32 @@ class TestMatrix:
         assert restored == config
         assert isinstance(restored.macs_per_group, tuple)
         assert isinstance(restored.miss_path_mechanisms, tuple)
+
+    def test_config_round_trip_preserves_auto_sentinel(self):
+        auto = AcceleratorConfig()
+        data = json.loads(json.dumps(config_to_dict(auto)))
+        assert data["input_buffer_bytes"] is None  # JSON null, not 524288
+        assert config_from_dict(data) == auto
+        explicit = replace(auto, input_buffer_bytes=256 * 1024)
+        assert (
+            config_from_dict(json.loads(json.dumps(config_to_dict(explicit))))
+            == explicit
+        )
+
+    def test_auto_sentinel_and_explicit_default_are_distinct_cells(self):
+        """Documented consequence of the sentinel: cell keys changed.
+
+        The auto default serializes as ``null`` where it used to be 524288,
+        so a default-config cell no longer shares a key with an explicit
+        512 KB cell — stores written before the change cannot be resumed
+        (see ``test_resuming_pre_sentinel_store_fails_clearly``).
+        """
+        auto = SweepCell("cora", 0.1, 1, "gcn", "gnnie", AcceleratorConfig())
+        explicit = SweepCell(
+            "cora", 0.1, 1, "gcn", "gnnie",
+            replace(AcceleratorConfig(), input_buffer_bytes=512 * 1024),
+        )
+        assert auto.key() != explicit.key()
 
     def test_full_matrix_shape(self):
         matrix = full_matrix()
@@ -249,9 +276,53 @@ class TestRunner:
 
     def test_progress_callback_sees_every_executed_cell(self, small_matrix):
         seen = []
-        run_sweep(small_matrix, jobs=1, progress=lambda cell, row, done, total: seen.append((done, total)))
+        run_sweep(
+            small_matrix,
+            jobs=1,
+            progress=lambda cell, row, done, total, cached: seen.append(
+                (done, total, cached)
+            ),
+        )
         assert len(seen) == 4
-        assert seen[-1] == (4, 4)
+        assert seen[-1] == (4, 4, False)
+        assert not any(cached for _, _, cached in seen)
+
+    def test_progress_fires_for_resumed_cells_flagged_cached(self, small_matrix, tmp_path):
+        """Resumed cells report progress too, so done/total never jumps.
+
+        Regression test: the callback used to fire only for executed cells,
+        making a resumed sweep's counter start past the resumed prefix.
+        """
+        store_path = tmp_path / "progress.jsonl"
+        cells = small_matrix.cells()
+        run_sweep(cells[:2], store=ResultStore(store_path), jobs=1)
+        seen = []
+        run_sweep(
+            small_matrix,
+            store=ResultStore(store_path),
+            jobs=1,
+            progress=lambda cell, row, done, total, cached: seen.append((done, cached)),
+        )
+        # Counter covers every cell exactly once: resumed first (cached),
+        # then the two freshly executed.
+        assert [done for done, _ in seen] == [1, 2, 3, 4]
+        assert [cached for _, cached in seen] == [True, True, False, False]
+
+    def test_resuming_pre_sentinel_store_fails_clearly(self, small_matrix, tmp_path):
+        """A store written before the cell-key change must not silently
+        re-execute every cell next to its stale rows."""
+        store_path = tmp_path / "old.jsonl"
+        run_sweep(small_matrix.cells()[:1], store=ResultStore(store_path), jobs=1)
+        row = next(iter(ResultStore(store_path).rows()))
+        del row["row_format"]  # what a pre-sentinel sweep wrote
+        store_path.write_text(canonical_row(row) + "\n")
+        with pytest.raises(ValueError, match="format"):
+            run_sweep(small_matrix, store=ResultStore(store_path), jobs=1)
+        # Opting out of resume rebuilds the store cleanly.
+        summary = run_sweep(
+            small_matrix, store=ResultStore(store_path, resume=False), jobs=1
+        )
+        assert summary.executed == 4
 
     def test_rejects_bad_jobs(self, small_matrix):
         with pytest.raises(ValueError):
@@ -361,6 +432,41 @@ class TestStoreBackedAggregation:
         assert front
         names = {p.name for p in design_points_from_rows(design_rows)}
         assert {p.name for p in front} <= names
+
+    def test_speedup_rows_distinguish_same_name_configs(self, tiny_graph):
+        """Two configs sharing a display name must not collapse to one.
+
+        Regression test: GNNIE reference rows were keyed by ``config_name``,
+        so a second ``replace()``d variant still named "GNNIE" silently
+        overwrote the first and baselines paired with the wrong reference.
+        """
+        base = AcceleratorConfig()
+        throttled = replace(base, input_buffer_bytes=2 * 1024)  # same name
+        assert throttled.name == base.name
+        matrix = ScenarioMatrix(
+            datasets=(DatasetCase(tiny_graph.name, seed=0),),
+            families=("gcn",),
+            backends=("gnnie", "pyg-cpu"),
+            configs=(base, throttled),
+        )
+        rows = run_sweep(matrix, graphs={tiny_graph.name: tiny_graph}).rows
+        gnnie_latencies = {
+            json.dumps(row["config"], sort_keys=True): row["metrics"]["latency_seconds"]
+            for row in rows
+            if row["backend"] == "gnnie"
+        }
+        assert len(set(gnnie_latencies.values())) == 2  # the variants differ
+        reference = gnnie_latencies[
+            json.dumps(config_to_dict(base), sort_keys=True)
+        ]
+        baseline_row = next(row for row in rows if row["backend"] == "pyg-cpu")
+        entries = speedup_rows(rows)
+        # The baseline platform is swept once, with configs[0]; its speedup
+        # must reference that config's GNNIE row, not the last same-named one.
+        assert len(entries) == 1
+        assert entries[0]["speedup"] == pytest.approx(
+            baseline_row["metrics"]["latency_seconds"] / reference
+        )
 
     def test_speedup_rows_and_geomeans(self, small_summary):
         entries = speedup_rows(small_summary.rows)
