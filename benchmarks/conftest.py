@@ -4,12 +4,17 @@ Every benchmark regenerates one table or figure of the paper's evaluation
 (Section VIII).  Datasets and GNNIE simulation results are expensive, so they
 are built once per session and shared; each benchmark prints the reproduced
 rows/series and also writes them to ``benchmarks/results/<experiment>.txt``
-so the output survives pytest's stdout capture (see EXPERIMENTS.md).
+so the output survives pytest's stdout capture (see EXPERIMENTS.md).  Next
+to each ``.txt``, a structured ``<experiment>.json`` records the test id,
+its wall time, and — when the benchmark passes its rows via ``data=`` — the
+machine-readable figures (cycles, energy, speedups) for downstream plotting.
 """
 
 from __future__ import annotations
 
 import functools
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -71,13 +76,29 @@ def baseline_platforms():
     }
 
 
-@pytest.fixture(scope="session")
-def record():
-    """Print a reproduced table/series and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+@pytest.fixture()
+def record(request):
+    """Print a reproduced table/series and persist it under benchmarks/results/.
 
-    def _record(experiment: str, text: str) -> None:
+    Writes ``<experiment>.txt`` (the human-readable table) and
+    ``<experiment>.json`` (test id, wall time since the test started, and
+    the structured rows when the benchmark passes them via ``data=``).
+    Function-scoped so the wall time is per figure, not per session.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    started = time.perf_counter()
+
+    def _record(experiment: str, text: str, data: list | dict | None = None) -> None:
         print(f"\n===== {experiment} =====\n{text}\n")
         (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+        document = {
+            "experiment": experiment,
+            "test": request.node.nodeid,
+            "wall_time_s": round(time.perf_counter() - started, 3),
+            "rows": data,
+        }
+        (RESULTS_DIR / f"{experiment}.json").write_text(
+            json.dumps(document, indent=2, default=float) + "\n"
+        )
 
     return _record

@@ -55,6 +55,7 @@ def test_fig13_hygcn_awbgcn_comparison(benchmark, record, datasets, gnnie_run, b
     record(
         "fig13_accelerator_comparison",
         format_table(rows, title="Fig. 13 — GNNIE speedup over HyGCN and AWB-GCN"),
+        data=rows,
     )
 
     hygcn_speedups = [row["speedup"] for row in rows if row["baseline"] == "HyGCN"]

@@ -38,6 +38,7 @@ def test_fig15_energy_efficiency(benchmark, record, datasets, gnnie_run, baselin
     record(
         "fig15_energy_efficiency",
         format_table(rows, title="Fig. 15 — energy efficiency, inferences/kJ (GCN)"),
+        data=rows,
     )
 
     for row in rows:

@@ -34,7 +34,11 @@ def test_table4_throughput(benchmark, record, datasets, gnnie_run):
         return rows
 
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)
-    record("table4_throughput", format_table(rows, title="Table IV — throughput (GCN)"))
+    record(
+        "table4_throughput",
+        format_table(rows, title="Table IV — throughput (GCN)"),
+        data=rows,
+    )
 
     # Peak throughput of the 1216-MAC array at 1.3 GHz (paper: 3.17 TOPS).
     assert peak_tops == pytest.approx(3.17, abs=0.05)

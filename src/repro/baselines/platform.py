@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.baselines.workload import WorkloadEstimate, workload_from_plan
 from repro.graph.graph import Graph
+from repro.obs.tracer import NULL_TRACER
 from repro.plan.ir import InferencePlan
 
 __all__ = ["PlatformResult", "PlatformModel"]
@@ -44,6 +45,9 @@ class PlatformModel(ABC):
     #: GNN families the platform supports (HyGCN cannot run GATs; AWB-GCN
     #: runs GCN only).
     supported_families: tuple[str, ...] = ("gcn", "gat", "graphsage", "ginconv", "diffpool")
+    #: Span tracer (``repro.obs``); the shared no-op by default, overridden
+    #: per instance when a profiling/fleet run wants platform spans.
+    tracer = NULL_TRACER
 
     def supports(self, family: str) -> bool:
         return family.lower() in self.supported_families
@@ -78,4 +82,13 @@ class PlatformModel(ABC):
         baseline platforms model fixed published hardware.
         """
         del config
-        return self.evaluate(graph, workload_from_plan(plan, graph))
+        with self.tracer.span(
+            f"platform:{self.name}",
+            category="inference",
+            platform=self.name,
+            dataset=graph.name,
+            family=plan.family,
+        ) as span:
+            result = self.evaluate(graph, workload_from_plan(plan, graph))
+        span.set(latency_s=result.latency_seconds, energy_j=result.energy_joules)
+        return result

@@ -165,13 +165,18 @@ class MissPathHierarchy:
     def from_accelerator_config(cls, config) -> "MissPathHierarchy":
         return cls(MissPathConfig.from_accelerator_config(config))
 
-    def filter(self, trace: VertexAccessTrace) -> HierarchyResult:
+    def filter(self, trace: VertexAccessTrace, *, metrics=None) -> HierarchyResult:
         """Run every miss of ``trace`` through the hierarchy.
 
         Per-mechanism stats count each structure's own hits (parallel
         probing, so the same miss may hit several structures); the combined
         ``resolved`` count is the union — each such miss costs zero DRAM
         random accesses regardless of how many structures held it.
+
+        ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`; when
+        given (and enabled), the trace's input-buffer misses/evictions and
+        every mechanism's probe/hit counters are recorded under
+        ``cache.input_buffer.*`` / ``cache.miss_path.*``.
         """
         result = HierarchyResult(
             total_misses=trace.num_misses,
@@ -196,4 +201,22 @@ class MissPathHierarchy:
             )
         result.resolved = int(resolved.sum())
         result.prefetch_resolved = int((resolved & ~on_chip).sum())
+        if metrics is not None and metrics.enabled:
+            metrics.counter("cache.input_buffer.misses", policy=trace.policy).inc(
+                trace.num_misses
+            )
+            metrics.counter("cache.input_buffer.evictions", policy=trace.policy).inc(
+                trace.num_evictions
+            )
+            for stats in result.mechanisms:
+                metrics.counter("cache.miss_path.accesses", mechanism=stats.name).inc(
+                    stats.accesses
+                )
+                metrics.counter("cache.miss_path.hits", mechanism=stats.name).inc(
+                    stats.hits
+                )
+            metrics.counter("cache.miss_path.resolved").inc(result.resolved)
+            metrics.counter("cache.miss_path.dram_random").inc(
+                result.dram_random_accesses
+            )
         return result

@@ -11,6 +11,13 @@ Simulate one inference and print the per-phase report::
     python -m repro simulate --dataset cora --model gat
     python -m repro simulate --dataset pubmed --model gcn --design A --json
 
+Profile one inference: span-by-span attribution (modeled cycles, MACs,
+DRAM bytes, energy; host wall time) plus a Perfetto-loadable Chrome trace::
+
+    python -m repro profile --dataset cora --family gcn
+    python -m repro profile --dataset cora --family gcn --trace-out t.json \\
+        --metrics-out metrics.csv
+
 Show the lowered phase-op program for one (dataset, model) pair::
 
     python -m repro plan --dataset cora --model gat
@@ -38,6 +45,7 @@ result store, fanning cells across worker processes::
     python -m repro sweep --datasets cora,citeseer --models gcn,gat \\
         --backends gnnie,pyg-cpu --scale 0.1 --jobs 2 --store sweep.jsonl
     python -m repro sweep --store sweep.jsonl --json   # resumes: skips done cells
+    python -m repro sweep --jobs 2 --store sweep.jsonl --trace sweep-trace.json
 
 Close the design-space loop: generations of sweep -> aggregate -> propose,
 resumable through the same store machinery::
@@ -53,6 +61,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Sequence
 
 import repro
@@ -97,6 +106,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--roofline", action="store_true", help="append a per-phase bottleneck analysis"
     )
     simulate_parser.set_defaults(handler=_cmd_simulate)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="profile one inference: per-span attribution + Chrome-trace export",
+    )
+    profile_parser.add_argument(
+        "--dataset", default="cora", choices=dataset_names(), help="benchmark dataset"
+    )
+    profile_parser.add_argument(
+        "--family",
+        "--model",
+        dest="family",
+        default="gcn",
+        choices=list(MODEL_FAMILIES),
+        help="GNN family (Table III); --model is accepted as an alias",
+    )
+    profile_parser.add_argument(
+        "--scale", type=float, default=None, help="dataset scale factor in (0, 1]"
+    )
+    profile_parser.add_argument("--seed", type=int, default=0, help="dataset generation seed")
+    profile_parser.add_argument(
+        "--design",
+        default=None,
+        choices=["A", "B", "C", "D", "E"],
+        help="use a named design point instead of the default GNNIE configuration",
+    )
+    profile_parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (chrome://tracing / Perfetto), "
+        "one track per GNN layer",
+    )
+    profile_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry (.csv -> CSV, anything else -> JSON)",
+    )
+    profile_parser.add_argument(
+        "--json", action="store_true", help="emit the profile report as JSON"
+    )
+    profile_parser.set_defaults(handler=_cmd_profile)
 
     plan_parser = subparsers.add_parser(
         "plan", help="show the lowered phase-op program for a (dataset, model) pair"
@@ -213,6 +265,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="truncate an existing store instead of skipping its completed cells",
     )
     sweep_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace the fleet and write a merged Chrome trace-event JSON "
+        "(one track per worker process); rows are unchanged",
+    )
+    sweep_parser.add_argument(
         "--json", action="store_true", help="emit the summary and all rows as JSON"
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
@@ -254,6 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resume",
         action="store_true",
         help="truncate an existing store instead of serving its completed cells",
+    )
+    tune_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace the tuning fleet (one generation span per sweep) and "
+        "write a merged Chrome trace-event JSON",
     )
     tune_parser.add_argument(
         "--json", action="store_true", help="emit the full tuning report as JSON"
@@ -332,6 +398,86 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print()
         print(format_table(rows, title="Roofline classification"))
         print(f"compute-bound fraction: {summary.compute_bound_fraction:.2f}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        flame_rows,
+        metrics_to_csv,
+        metrics_to_json,
+        write_chrome_trace,
+    )
+
+    graph, config = _load(args)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    result = GNNIESimulator(config, tracer=tracer, metrics=metrics).run(graph, args.family)
+
+    metadata = {
+        "dataset": graph.name,
+        "family": args.family,
+        "config": config.name,
+        "total_cycles": result.total_cycles,
+        "latency_seconds": result.latency_seconds,
+    }
+    trace_path = None
+    if args.trace_out:
+        trace_path = write_chrome_trace(
+            args.trace_out,
+            tracer.records,
+            track="layer",
+            metrics=metrics,
+            metadata=metadata,
+        )
+    if args.metrics_out:
+        text = (
+            metrics_to_csv(metrics)
+            if args.metrics_out.endswith(".csv")
+            else metrics_to_json(metrics) + "\n"
+        )
+        with open(args.metrics_out, "w") as handle:
+            handle.write(text)
+
+    flame = flame_rows(tracer.records)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "summary": result.summary(),
+                    "spans": flame,
+                    "metrics": metrics.snapshot(),
+                    "trace": str(trace_path) if trace_path else None,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        format_table(
+            [result.summary()], title=f"GNNIE {args.family.upper()} on {graph.name}"
+        )
+    )
+    print()
+    print(format_table(flame, title="Span attribution (modeled cycles + host time)"))
+    snapshot = metrics.snapshot()
+    if snapshot:
+        rows = [
+            {
+                "metric": entry["name"],
+                "kind": entry["kind"],
+                "labels": ";".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+                or "-",
+                "value": entry["value"],
+            }
+            for entry in snapshot
+        ]
+        print()
+        print(format_table(rows, title="Metrics"))
+    if trace_path is not None:
+        print(f"\nChrome trace written to {trace_path} (load in Perfetto or chrome://tracing)")
     return 0
 
 
@@ -513,23 +659,58 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         datasets, models, backends=backends, configs=configs, scale=args.scale, seed=args.seed
     )
 
-    def progress(cell, row, done, total, cached):
+    tracer = metrics = None
+    if args.trace:
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+
+    started = time.perf_counter()
+
+    def progress(cell, row, done, total, cached, wall_s):
         status = "ok" if row["supported"] else "unsupported"
-        if cached:
-            status += " (resumed)"
-        print(f"  [{done}/{total}] {cell.describe()}: {status}", file=sys.stderr)
+        status += " (resumed)" if cached else f" ({wall_s:.2f}s)"
+        elapsed = time.perf_counter() - started
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = (total - done) / rate if rate > 0 else 0.0
+        print(
+            f"  [{done}/{total}] {cell.describe()}: {status} "
+            f"| {rate:.1f} rows/s, eta {eta:.0f}s",
+            file=sys.stderr,
+        )
 
     try:
-        summary = run_sweep(matrix, store=store, jobs=args.jobs, progress=progress)
+        summary = run_sweep(
+            matrix,
+            store=store,
+            jobs=args.jobs,
+            progress=progress,
+            tracer=tracer,
+            metrics=metrics,
+        )
     except ValueError as error:  # e.g. an old-format store
         print(str(error), file=sys.stderr)
         return 2
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace,
+            tracer.records,
+            track="pid",
+            metrics=metrics,
+            metadata={"command": "sweep", "jobs": args.jobs, "cells": summary.total},
+        )
+        print(f"fleet trace written to {args.trace}", file=sys.stderr)
     if args.json:
         print(json.dumps(summary.as_dict(), indent=2))
         return 0
     print(
         f"sweep: {summary.total} cells ({summary.executed} executed, "
-        f"{summary.skipped} resumed, {summary.unsupported} unsupported) -> {summary.store_path}"
+        f"{summary.skipped} resumed, {summary.unsupported} unsupported) "
+        f"in {summary.wall_seconds:.2f}s ({summary.rows_per_second:.1f} rows/s) "
+        f"-> {summary.store_path}"
     )
     rows = geomean_table_rows(summary.rows)
     if rows:
@@ -562,16 +743,35 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 2
 
+    tracer = metrics = None
+    if args.trace:
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer = Tracer()
+        metrics = MetricsRegistry()
     try:
         result = run_tune(
             spec,
             store=store,
             jobs=args.jobs,
             log=lambda line: print(line, file=sys.stderr),
+            tracer=tracer,
+            metrics=metrics,
         )
     except ValueError as error:  # e.g. an old-format store
         print(str(error), file=sys.stderr)
         return 2
+    if args.trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace,
+            tracer.records,
+            track="pid",
+            metrics=metrics,
+            metadata={"command": "tune", "dataset": spec.dataset, "family": spec.family},
+        )
+        print(f"tuning trace written to {args.trace}", file=sys.stderr)
     if args.json:
         print(json.dumps(result.as_dict(), indent=2))
         return 0

@@ -1,0 +1,255 @@
+"""Exporters: Chrome-trace JSON, metrics JSON/CSV, flame-style tables.
+
+The Chrome trace-event output loads in ``chrome://tracing`` and in Perfetto
+(https://ui.perfetto.dev — *Open trace file*).  Spans are emitted as matched
+``B``/``E`` duration events with microsecond timestamps rebased to the
+earliest span, grouped into tracks:
+
+* ``track="pid"`` — one track per producing process (fleet sweeps: one row
+  per worker, the merged multi-worker timeline);
+* ``track="layer"`` — one track per GNN layer (single inferences: the
+  ``layer``/phase-op spans of layer *i* land on thread ``i+1``, the
+  inference root and global preprocessing on thread 0).
+
+Host wall time is the span extent; modeled attribution (cycles, MACs, DRAM
+bytes, energy) rides in each event's ``args`` so Perfetto's selection panel
+shows both.  :func:`flame_rows` aggregates the same spans into a flat
+name-path table for terminal output.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanRecord
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "metrics_to_json",
+    "metrics_to_csv",
+    "flame_rows",
+]
+
+
+def _jsonable(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # NumPy scalars
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def _track_id(span: SpanRecord, track: str) -> int:
+    if track == "layer":
+        layer = span.attrs.get("layer")
+        if isinstance(layer, int) and layer >= 0:
+            return layer + 1
+        return 0
+    return 0
+
+
+def chrome_trace_events(
+    spans: Sequence[SpanRecord], *, track: str = "pid"
+) -> list[dict]:
+    """Trace-event list (B/E pairs plus naming metadata) for ``spans``.
+
+    Within each ``(pid, tid)`` track spans are properly nested (they come
+    from per-process call stacks), so sorting by start time and closing by
+    interval containment yields matched, monotonically-timestamped B/E
+    pairs — the invariants :func:`repro.obs.schema.validate_chrome_trace`
+    checks.
+    """
+    if track not in ("pid", "layer"):
+        raise ValueError(f"unknown track mode {track!r}; known: pid, layer")
+    spans = list(spans)
+    if not spans:
+        return []
+    origin = min(span.start_s for span in spans)
+
+    def ts(seconds: float) -> float:
+        return round((seconds - origin) * 1e6, 3)
+
+    groups: dict[tuple[int, int], list[SpanRecord]] = {}
+    for span in spans:
+        groups.setdefault((span.pid, _track_id(span, track)), []).append(span)
+
+    events: list[dict] = []
+    for (pid, tid) in sorted(groups):
+        if track == "pid":
+            process_label = f"worker-{pid}"
+            thread_label = "timeline"
+        else:
+            process_label = f"pid-{pid}"
+            thread_label = f"layer {tid - 1}" if tid else "inference"
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": process_label},
+            }
+        )
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_label},
+            }
+        )
+
+    for (pid, tid), group in sorted(groups.items()):
+        group.sort(key=lambda s: (s.start_s, -s.end_s, s.span_id))
+        stack: list[SpanRecord] = []
+        for span in group:
+            while stack and stack[-1].end_s <= span.start_s:
+                closed = stack.pop()
+                events.append(
+                    {"ph": "E", "name": closed.name, "pid": pid, "tid": tid,
+                     "ts": ts(max(closed.end_s, closed.start_s))}
+                )
+            events.append(
+                {
+                    "ph": "B",
+                    "name": span.name,
+                    "cat": span.category,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": ts(span.start_s),
+                    "args": {key: _jsonable(value) for key, value in span.attrs.items()},
+                }
+            )
+            stack.append(span)
+        while stack:
+            closed = stack.pop()
+            events.append(
+                {"ph": "E", "name": closed.name, "pid": pid, "tid": tid,
+                 "ts": ts(max(closed.end_s, closed.start_s))}
+            )
+    return events
+
+
+def chrome_trace_document(
+    spans: Sequence[SpanRecord],
+    *,
+    track: str = "pid",
+    metrics: MetricsRegistry | None = None,
+    metadata: dict | None = None,
+) -> dict:
+    """Full Chrome-trace JSON object (``traceEvents`` + metadata)."""
+    document = {
+        "traceEvents": chrome_trace_events(spans, track=track),
+        "displayTimeUnit": "ms",
+        "metadata": {"tool": "repro.obs", **(metadata or {})},
+    }
+    if metrics is not None:
+        document["metadata"]["metrics"] = metrics.snapshot()
+    return document
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Sequence[SpanRecord],
+    *,
+    track: str = "pid",
+    metrics: MetricsRegistry | None = None,
+    metadata: dict | None = None,
+) -> Path:
+    """Write the Chrome-trace document to ``path`` and return it."""
+    path = Path(path)
+    document = chrome_trace_document(
+        spans, track=track, metrics=metrics, metadata=metadata
+    )
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Metrics dumps
+# ---------------------------------------------------------------------- #
+def metrics_to_json(metrics: MetricsRegistry, *, indent: int = 2) -> str:
+    """Flat JSON document of every instrument."""
+    return json.dumps({"metrics": metrics.snapshot()}, indent=indent)
+
+
+def metrics_to_csv(metrics: MetricsRegistry) -> str:
+    """One CSV row per instrument (labels flattened to ``k=v`` pairs)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=["name", "kind", "labels", "value"])
+    writer.writeheader()
+    for row in metrics.snapshot():
+        writer.writerow(
+            {
+                "name": row["name"],
+                "kind": row["kind"],
+                "labels": ";".join(f"{k}={v}" for k, v in sorted(row["labels"].items())),
+                "value": row["value"],
+            }
+        )
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------- #
+# Flame-style text table
+# ---------------------------------------------------------------------- #
+def flame_rows(spans: Iterable[SpanRecord]) -> list[dict]:
+    """Aggregate spans into per-name-path rows (flame-graph-as-a-table).
+
+    The path is the ``/``-joined span-name chain from the root; rows carry
+    call counts, summed host wall time and the summed modeled attribution.
+    Sorted deepest-spender-first by modeled cycles, then host time.
+    """
+    spans = list(spans)
+    by_id = {(span.pid, span.span_id): span for span in spans}
+
+    def path(span: SpanRecord) -> str:
+        parts = [span.name]
+        seen = {(span.pid, span.span_id)}
+        current = span
+        while current.parent_id is not None:
+            parent = by_id.get((current.pid, current.parent_id))
+            if parent is None or (parent.pid, parent.span_id) in seen:
+                break
+            seen.add((parent.pid, parent.span_id))
+            parts.append(parent.name)
+            current = parent
+        return "/".join(reversed(parts))
+
+    aggregated: dict[str, dict] = {}
+    for span in spans:
+        row = aggregated.setdefault(
+            path(span),
+            {
+                "span": None,
+                "calls": 0,
+                "host_ms": 0.0,
+                "cycles": 0,
+                "macs": 0,
+                "dram_bytes": 0,
+                "energy_pj": 0.0,
+            },
+        )
+        row["span"] = row["span"] or path(span)
+        row["calls"] += 1
+        row["host_ms"] += span.duration_s * 1e3
+        row["cycles"] += int(span.attrs.get("cycles", 0) or 0)
+        row["macs"] += int(span.attrs.get("mac_operations", 0) or 0)
+        row["dram_bytes"] += int(span.attrs.get("dram_bytes", 0) or 0)
+        row["energy_pj"] += float(span.attrs.get("energy_pj", 0.0) or 0.0)
+
+    rows = list(aggregated.values())
+    rows.sort(key=lambda row: (-row["cycles"], -row["host_ms"], row["span"]))
+    for row in rows:
+        row["host_ms"] = round(row["host_ms"], 3)
+        row["energy_pj"] = round(row["energy_pj"], 1)
+    return rows

@@ -22,7 +22,15 @@ __all__ = ["Executor", "register_executor", "executor", "executor_names"]
 
 @runtime_checkable
 class Executor(Protocol):
-    """Anything that can run an inference plan on a graph."""
+    """Anything that can run an inference plan on a graph.
+
+    Executors may additionally expose a ``tracer`` attribute (a
+    :class:`repro.obs.Tracer`, defaulting to the shared no-op
+    ``NULL_TRACER``); callers that profile an execution — ``repro
+    profile``, the sweep fleet's ``--trace`` path — set it before calling
+    :meth:`execute` so the backend emits its span hierarchy.  Both built-in
+    backends (the GNNIE executor and the baseline platforms) support this.
+    """
 
     #: Registry / report name of the backend.
     name: str

@@ -58,6 +58,7 @@ def run_cache_simulation(
     *,
     gamma: int | None = None,
     replacement_count: int | None = None,
+    metrics=None,
 ) -> CacheSimulationResult:
     """Run the caching policy selected by the configuration.
 
@@ -70,6 +71,10 @@ def run_cache_simulation(
     miss/eviction trace, the hierarchy filters it, and the outcome is
     attached to the result (``result.miss_path``); downstream cycle/energy
     models then charge only the *net* random accesses to DRAM.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`; when
+    given, the hierarchy records its per-mechanism hit/miss/eviction
+    counters into it (see :meth:`MissPathHierarchy.filter`).
     """
     capacity, record_bytes = input_buffer_capacity(adjacency, config, feature_length)
     collect_trace = config.miss_path_enabled
@@ -90,7 +95,7 @@ def run_cache_simulation(
         result = controller.run(collect_trace=collect_trace)
     if collect_trace and result.trace is not None:
         hierarchy = MissPathHierarchy.from_accelerator_config(config)
-        result.miss_path = hierarchy.filter(result.trace)
+        result.miss_path = hierarchy.filter(result.trace, metrics=metrics)
     return result
 
 

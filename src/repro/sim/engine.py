@@ -41,10 +41,26 @@ class GNNIESimulator:
         *,
         energy_model: EnergyModel | None = None,
         area_model: AreaModel | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         self._executor = GNNIEExecutor(
-            config, energy_model=energy_model, area_model=area_model
+            config,
+            energy_model=energy_model,
+            area_model=area_model,
+            tracer=tracer,
+            metrics=metrics,
         )
+
+    @property
+    def tracer(self):
+        """Span tracer threaded into the executor (``repro.obs``)."""
+        return self._executor.tracer
+
+    @property
+    def metrics(self):
+        """Metrics registry threaded into the executor (``repro.obs``)."""
+        return self._executor.metrics
 
     @property
     def config(self) -> AcceleratorConfig:

@@ -41,6 +41,8 @@ from repro.hw.config import AcceleratorConfig
 from repro.hw.energy import AreaModel, EnergyBreakdown, EnergyModel
 from repro.mapping.attention import schedule_attention
 from repro.models.graphsage import NeighborSampler
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.plan.executor import register_executor
 from repro.plan.ir import (
     HIDDEN_DENSITY,
@@ -88,10 +90,16 @@ class GNNIEExecutor:
         *,
         energy_model: EnergyModel | None = None,
         area_model: AreaModel | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or AcceleratorConfig()
         self.energy_model = energy_model or EnergyModel()
         self.area_model = area_model or AreaModel()
+        #: Observability hooks; the defaults are shared no-ops, so an
+        #: un-instrumented executor's numbers (and goldens) are untouched.
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics or NULL_METRICS
         self._cache_results: dict[tuple, CacheSimulationResult] = {}
         # id -> (weakref, fingerprint); weak references avoid pinning every
         # simulated graph in memory, and a dead/realiased id is detected by
@@ -113,21 +121,46 @@ class GNNIEExecutor:
         # Auto-sizing sentinel only: an explicit input_buffer_bytes override
         # (e.g. a buffer-sweep cell) is simulated at the capacity it names.
         cfg = (config or self.config).resolve_input_buffer(graph.name)
+        tracer = self.tracer
         adjacencies: dict[AdjacencyRef, CSRGraph] = {}
-        layers = [
-            self._execute_layer(stage, graph, cfg, adjacencies) for stage in plan.layers
-        ]
-        for layer in layers:
-            self._overlap_layer_memory(layer)
-        result = InferenceResult(
+        with tracer.span(
+            "inference",
+            category="inference",
             dataset=graph.name,
-            model=plan.family.upper(),
-            config_name=cfg.name,
-            layers=layers,
-            frequency_hz=cfg.frequency_hz,
-            global_preprocessing_cycles=self._global_preprocessing_cycles(plan, graph, cfg),
-        )
-        result.energy = self._energy(result, cfg)
+            family=plan.family,
+            config=cfg.name,
+        ) as root:
+            layers = []
+            annotations = []  # (layer, layer span, {slot: [(op span, busy cycles)]})
+            for stage in plan.layers:
+                with tracer.span(
+                    f"layer{stage.index}",
+                    category="layer",
+                    layer=stage.index,
+                    in_features=stage.in_features,
+                    out_features=stage.out_features,
+                ) as layer_span:
+                    layer, slots = self._execute_layer(stage, graph, cfg, adjacencies)
+                layers.append(layer)
+                annotations.append((layer, layer_span, slots))
+            for layer in layers:
+                self._overlap_layer_memory(layer)
+            with tracer.span(
+                "preprocess:degree_binning", category="op", layer=-1
+            ) as preprocess_span:
+                preprocessing = self._global_preprocessing_cycles(plan, graph, cfg)
+            result = InferenceResult(
+                dataset=graph.name,
+                model=plan.family.upper(),
+                config_name=cfg.name,
+                layers=layers,
+                frequency_hz=cfg.frequency_hz,
+                global_preprocessing_cycles=preprocessing,
+            )
+            result.energy = self._energy(result, cfg)
+            if tracer.enabled:
+                preprocess_span.set(cycles=preprocessing)
+                self._annotate_spans(result, annotations, root)
         return result
 
     def chip_area_mm2(self, config: AcceleratorConfig | None = None) -> float:
@@ -142,39 +175,70 @@ class GNNIEExecutor:
         graph: Graph,
         cfg: AcceleratorConfig,
         adjacencies: dict[AdjacencyRef, CSRGraph],
-    ) -> LayerResult:
+    ) -> tuple[LayerResult, dict[str, list]]:
         weighting: PhaseResult | None = None
         attention: PhaseResult | None = None
         aggregation: PhaseResult | None = None
+        tracer = self.tracer
+        #: Per phase slot, the (span, pre-overlap busy cycles) of each op —
+        #: the bookkeeping `_annotate_spans` needs to turn the post-overlap
+        #: layer totals into exact per-op cycle attribution.
+        slot_spans: dict[str, list] = {}
 
         def accumulate(slot: PhaseResult | None, phase: PhaseResult) -> PhaseResult:
             # A layer may lower to several ops of one kind (e.g. an SGC-style
             # family with multiple propagation hops); their costs add up.
             return phase if slot is None else slot.merge(phase)
 
+        def note(span, slot: str, phase: PhaseResult) -> None:
+            if not tracer.enabled:
+                return
+            span.set(
+                compute_cycles=phase.compute_cycles,
+                sfu_cycles=phase.sfu_cycles,
+                mac_operations=phase.mac_operations,
+                dram_bytes=phase.dram_bytes,
+                energy_pj=self._phase_energy_pj(phase),
+            )
+            busy = phase.compute_cycles + phase.sfu_cycles + phase.preprocessing_cycles
+            slot_spans.setdefault(slot, []).append((span, busy))
+
         for op in stage.ops:
             if isinstance(op, SampleOp):
-                self._resolve_adjacency(
-                    AdjacencyRef("sampled", op.sample_size), graph, adjacencies
-                )
+                with tracer.span("op:sample", category="op", layer=stage.index) as span:
+                    self._resolve_adjacency(
+                        AdjacencyRef("sampled", op.sample_size), graph, adjacencies
+                    )
+                # Sampling is plan-resolution work, free on the modeled chip.
+                span.set(cycles=0)
             elif isinstance(op, WeightingOp):
-                weighting = accumulate(weighting, self._weighting_phase(op, graph, cfg))
+                with tracer.span("op:weighting", category="op", layer=stage.index) as span:
+                    phase = self._weighting_phase(op, graph, cfg)
+                weighting = accumulate(weighting, phase)
+                note(span, "weighting", phase)
             elif isinstance(op, AttentionOp):
-                attention = accumulate(attention, self._attention_phase(op, graph, cfg))
+                with tracer.span("op:attention", category="op", layer=stage.index) as span:
+                    phase = self._attention_phase(op, graph, cfg)
+                attention = accumulate(attention, phase)
+                note(span, "attention", phase)
             elif isinstance(op, AggregationOp):
-                adjacency = self._resolve_adjacency(op.adjacency, graph, adjacencies)
-                aggregation = accumulate(
-                    aggregation, self._aggregation_phase(op, adjacency, cfg)
-                )
+                with tracer.span("op:aggregation", category="op", layer=stage.index) as span:
+                    adjacency = self._resolve_adjacency(op.adjacency, graph, adjacencies)
+                    phase = self._aggregation_phase(op, adjacency, cfg)
+                aggregation = accumulate(aggregation, phase)
+                note(span, "aggregation", phase)
             elif isinstance(op, DenseMatmulOp):
-                weighting = accumulate(weighting, self._dense_matmul_phase(op, graph, cfg))
+                with tracer.span("op:dense_matmul", category="op", layer=stage.index) as span:
+                    phase = self._dense_matmul_phase(op, graph, cfg)
+                weighting = accumulate(weighting, phase)
+                note(span, "weighting", phase)
             else:
                 raise TypeError(f"GNNIE executor cannot handle op {op!r}")
         if weighting is None:
             weighting = PhaseResult("weighting")
         if aggregation is None:
             aggregation = PhaseResult("aggregation")
-        return LayerResult(
+        layer = LayerResult(
             layer_index=stage.index,
             in_features=stage.in_features,
             out_features=stage.out_features,
@@ -182,6 +246,7 @@ class GNNIEExecutor:
             attention=attention,
             aggregation=aggregation,
         )
+        return layer, slot_spans
 
     # ------------------------------------------------------------------ #
     # Per-op handlers
@@ -253,6 +318,67 @@ class GNNIEExecutor:
         )
 
     # ------------------------------------------------------------------ #
+    # Span attribution
+    # ------------------------------------------------------------------ #
+    def _phase_energy_pj(self, phase: PhaseResult) -> float:
+        """Dynamic energy attributable to one phase contribution (pJ).
+
+        Static (leakage) energy is a whole-run quantity and stays on the
+        inference root span only.
+        """
+        model = self.energy_model
+        return (
+            model.mac_energy(phase.mac_operations)
+            + model.sfu_energy(phase.sfu_operations)
+            + model.buffer_energy("input", phase.input_buffer_bytes)
+            + model.buffer_energy("output", phase.output_buffer_bytes)
+            + model.buffer_energy("weight", phase.weight_buffer_bytes)
+            + model.dram_energy(phase.dram_input_stream_bytes)
+            + model.dram_energy(phase.dram_weight_stream_bytes)
+            + model.dram_energy(phase.dram_output_stream_bytes)
+        )
+
+    def _annotate_spans(self, result: InferenceResult, annotations, root) -> None:
+        """Attach final modeled cycle attribution to the recorded spans.
+
+        ``_overlap_layer_memory`` re-derives memory stalls *after* the per-op
+        handlers ran, so per-op numbers captured at op time no longer sum to
+        the layer's final total.  Here each op span gets its own busy cycles
+        (compute + SFU + preprocessing, unchanged by overlap) and the
+        layer's residual — the exposed memory stall the overlap pass charged
+        to the aggregation phase — lands on the layer's aggregation span (or
+        its last op when a layer lowered without one).  The invariant the
+        acceptance tests pin: summing ``cycles`` over every category="op"
+        span (including the global-preprocessing span) reproduces
+        ``result.total_cycles`` exactly.
+        """
+        for layer, layer_span, slots in annotations:
+            layer_span.set(
+                cycles=layer.total_cycles,
+                mac_operations=sum(p.mac_operations for p in layer.phases()),
+                dram_bytes=sum(p.dram_bytes for p in layer.phases()),
+            )
+            spans = [entry for slot in ("weighting", "attention", "aggregation")
+                     for entry in slots.get(slot, [])]
+            assigned = 0
+            for span, busy in spans:
+                span.set(cycles=busy)
+                assigned += busy
+            residual = layer.total_cycles - assigned
+            if residual and spans:
+                # Prefer the aggregation slot (where the overlap pass parks
+                # exposed stalls); otherwise the layer's last op.
+                target = (slots.get("aggregation") or spans)[-1][0]
+                target.set(cycles=int(target.record.attrs.get("cycles", 0)) + residual)
+        root.set(
+            cycles=result.total_cycles,
+            mac_operations=result.total_mac_operations,
+            dram_bytes=result.total_dram_bytes,
+            energy_pj=result.energy.total_pj,
+            latency_s=result.latency_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
     def _resolve_adjacency(
@@ -291,7 +417,14 @@ class GNNIEExecutor:
             cfg.stream_buffer_depth,
         )
         if key not in self._cache_results:
-            self._cache_results[key] = run_cache_simulation(adjacency, cfg, feature_length)
+            # Metrics are recorded only when the simulation actually runs;
+            # memo hits re-use the numbers without double-counting events.
+            self.metrics.counter("executor.cache_sim.runs").inc()
+            self._cache_results[key] = run_cache_simulation(
+                adjacency, cfg, feature_length, metrics=self.metrics
+            )
+        else:
+            self.metrics.counter("executor.cache_sim.memo_hits").inc()
         return self._cache_results[key]
 
     def _fingerprint(self, adjacency: CSRGraph) -> tuple[int, int, int]:

@@ -14,7 +14,13 @@ from typing import Iterable
 
 from repro.sim.results import InferenceResult
 
-__all__ = ["result_to_dict", "result_to_json", "results_to_csv", "phase_table"]
+__all__ = [
+    "result_to_dict",
+    "result_to_json",
+    "results_to_csv",
+    "csv_fieldnames",
+    "phase_table",
+]
 
 
 def result_to_dict(result: InferenceResult) -> dict:
@@ -64,39 +70,24 @@ def result_to_json(result: InferenceResult, *, indent: int = 2) -> str:
     return json.dumps(result_to_dict(result), indent=indent)
 
 
+def csv_fieldnames() -> list[str]:
+    """The CSV column set: every :meth:`InferenceResult.summary` key.
+
+    Derived from the summary itself rather than a hand-maintained list, so
+    a new summary field can never silently go missing from exports (the old
+    literal list had drifted: it dropped the per-phase cycle columns).  The
+    column *order* is part of the export contract and is pinned by test.
+    """
+    return list(InferenceResult(dataset="", model="", config_name="").summary().keys())
+
+
 def results_to_csv(results: Iterable[InferenceResult]) -> str:
     """One CSV row per inference (summary-level fields only)."""
-    fieldnames = [
-        "dataset",
-        "model",
-        "config",
-        "cycles",
-        "latency_s",
-        "effective_tops",
-        "macs",
-        "dram_bytes",
-        "energy_j",
-        "inferences_per_kj",
-    ]
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer = csv.DictWriter(buffer, fieldnames=csv_fieldnames())
     writer.writeheader()
     for result in results:
-        summary = result.summary()
-        writer.writerow(
-            {
-                "dataset": summary["dataset"],
-                "model": summary["model"],
-                "config": summary["config"],
-                "cycles": summary["cycles"],
-                "latency_s": summary["latency_s"],
-                "effective_tops": summary["effective_tops"],
-                "macs": summary["macs"],
-                "dram_bytes": summary["dram_bytes"],
-                "energy_j": summary["energy_j"],
-                "inferences_per_kj": summary["inferences_per_kj"],
-            }
-        )
+        writer.writerow(result.summary())
     return buffer.getvalue()
 
 

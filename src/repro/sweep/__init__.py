@@ -31,7 +31,7 @@ from repro.sweep.matrix import (
 )
 from repro.sweep.runner import SweepSummary, run_sweep
 from repro.sweep.store import ResultStore, canonical_row
-from repro.sweep.worker import ROW_FORMAT, run_cell
+from repro.sweep.worker import ROW_FORMAT, run_cell, run_cell_timed
 
 
 def __getattr__(name: str):
@@ -58,5 +58,6 @@ __all__ = [
     "derive_seed",
     "full_matrix",
     "run_cell",
+    "run_cell_timed",
     "run_sweep",
 ]

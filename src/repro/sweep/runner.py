@@ -18,20 +18,25 @@ store, never of scheduling.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.sweep.matrix import ScenarioMatrix, SweepCell
 from repro.sweep.store import ResultStore
-from repro.sweep.worker import ROW_FORMAT, run_cell, seed_graph_overrides
+from repro.sweep.worker import ROW_FORMAT, run_cell_timed, seed_graph_overrides
 
 __all__ = ["SweepSummary", "run_sweep"]
 
 #: Progress callback signature:
-#: (cell, row, completed_count, total_count, cached) — ``cached`` is True
-#: for cells served from the result store (resume) instead of executed, so
-#: a ``done/total`` counter advances smoothly across both paths.
-ProgressCallback = Callable[[SweepCell, dict, int, int, bool], None]
+#: (cell, row, completed_count, total_count, cached, wall_seconds) —
+#: ``cached`` is True for cells served from the result store (resume)
+#: instead of executed, so a ``done/total`` counter advances smoothly
+#: across both paths; ``wall_seconds`` is the cell's host execution time
+#: (0.0 for cached cells), which is what the CLI's live rate/ETA reads.
+ProgressCallback = Callable[[SweepCell, dict, int, int, bool, float], None]
 
 
 def _check_store_format(store: ResultStore) -> None:
@@ -66,11 +71,21 @@ class SweepSummary:
     skipped: int
     rows: list[dict] = field(default_factory=list)
     store_path: str | None = None
+    #: Host wall-clock of the whole sweep call, seconds.
+    wall_seconds: float = 0.0
+    #: Summed per-cell host execution time (excludes resumed cells); under
+    #: a worker pool this exceeds ``wall_seconds`` when parallelism pays.
+    cell_wall_seconds: float = 0.0
 
     @property
     def unsupported(self) -> int:
         """Cells whose backend cannot run the family (rows with null metrics)."""
         return sum(1 for row in self.rows if not row["supported"])
+
+    @property
+    def rows_per_second(self) -> float:
+        """Completed cells per wall-clock second (resumed cells included)."""
+        return self.total / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -78,6 +93,8 @@ class SweepSummary:
             "executed": self.executed,
             "skipped": self.skipped,
             "unsupported": self.unsupported,
+            "wall_seconds": self.wall_seconds,
+            "cell_wall_seconds": self.cell_wall_seconds,
             "store": self.store_path,
             "rows": self.rows,
         }
@@ -90,6 +107,8 @@ def run_sweep(
     jobs: int = 1,
     graphs: dict[str, object] | None = None,
     progress: ProgressCallback | None = None,
+    tracer=None,
+    metrics=None,
 ) -> SweepSummary:
     """Run every cell of the matrix, resuming from the store.
 
@@ -110,8 +129,19 @@ def run_sweep(
             name on a later run.
         progress: Optional callback invoked once per cell — after execution
             for fresh cells, and during the initial store scan for resumed
-            ones (final argument ``cached=True``), so ``done/total``
-            accounting covers every cell exactly once.
+            ones (``cached=True``), so ``done/total`` accounting covers
+            every cell exactly once.  The final argument is the cell's host
+            wall time in seconds (0.0 when resumed).
+        tracer: Optional :class:`repro.obs.Tracer`.  When enabled, the
+            sweep records a root span, every executed cell runs traced
+            (workers ship their span segments back; each worker process is
+            its own timeline track), and the segments are absorbed into
+            this tracer for one merged fleet timeline.  Tracing never
+            changes the rows — traced and untraced sweeps are
+            byte-identical.
+        metrics: Optional :class:`repro.obs.MetricsRegistry` receiving the
+            fleet counters (``sweep.cells.executed`` / ``.cached`` /
+            ``.unsupported``, ``sweep.cell_wall_seconds``, ``sweep.jobs``).
 
     Returns:
         A :class:`SweepSummary` with rows in matrix cell order.
@@ -130,64 +160,81 @@ def run_sweep(
             "not hash graph content, so resuming from a file could return "
             "rows computed from a different graph with the same name"
         )
+    tracer = tracer or NULL_TRACER
+    metrics = metrics or NULL_METRICS
+    trace_cells = tracer.enabled
+    started = time.perf_counter()
 
     _check_store_format(store)
     results: dict[int, dict] = {}
     # Duplicate-key cells execute once; the row fans out to every holder.
     pending: dict[str, list[tuple[int, SweepCell]]] = {}
     completed = 0
-    for index, cell in enumerate(cells):
-        cached = store.get(cell.key())
-        if cached is not None:
-            results[index] = cached
-            completed += 1
-            # Store-resumed cells report progress too (flagged cached), so a
-            # resumed sweep's done/total counter starts where it left off
-            # instead of jumping over the resumed prefix.
-            if progress is not None:
-                progress(cell, cached, completed, len(cells), True)
+    cell_wall_total = 0.0
+    with tracer.span("sweep", category="sweep", cells=len(cells), jobs=jobs) as root:
+        for index, cell in enumerate(cells):
+            cached = store.get(cell.key())
+            if cached is not None:
+                results[index] = cached
+                completed += 1
+                metrics.counter("sweep.cells.cached").inc()
+                # Store-resumed cells report progress too (flagged cached),
+                # so a resumed sweep's done/total counter starts where it
+                # left off instead of jumping over the resumed prefix.
+                if progress is not None:
+                    progress(cell, cached, completed, len(cells), True, 0.0)
+            else:
+                pending.setdefault(cell.key(), []).append((index, cell))
+
+        def finish(key: str, row: dict, wall_s: float, spans) -> None:
+            nonlocal completed, cell_wall_total
+            store.append(row)
+            if spans:
+                tracer.absorb(spans)
+            cell_wall_total += wall_s
+            metrics.counter("sweep.cells.executed").inc()
+            metrics.counter("sweep.cell_wall_seconds").inc(wall_s)
+            if not row["supported"]:
+                metrics.counter("sweep.cells.unsupported").inc()
+            for index, cell in pending[key]:
+                results[index] = row
+                completed += 1
+                if progress is not None:
+                    progress(cell, row, completed, len(cells), False, wall_s)
+
+        if jobs == 1 or not pending:
+            for key, holders in pending.items():
+                cell = holders[0][1]
+                graph = graphs.get(cell.dataset) if graphs else None
+                finish(key, *run_cell_timed(cell, graph, trace_cells))
         else:
-            pending.setdefault(cell.key(), []).append((index, cell))
-
-    def finish(key: str, row: dict) -> None:
-        nonlocal completed
-        store.append(row)
-        for index, cell in pending[key]:
-            results[index] = row
-            completed += 1
-            if progress is not None:
-                progress(cell, row, completed, len(cells), False)
-
-    if jobs == 1 or not pending:
-        for key, holders in pending.items():
-            cell = holders[0][1]
-            graph = graphs.get(cell.dataset) if graphs else None
-            finish(key, run_cell(cell, graph))
-    else:
-        # Caller-supplied graphs ship once per worker process (initializer),
-        # not once per cell.
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=seed_graph_overrides if graphs else None,
-            initargs=(graphs,) if graphs else (),
-        ) as pool:
-            futures = {
-                pool.submit(run_cell, holders[0][1]): key
-                for key, holders in pending.items()
-            }
-            # Drain every completed future even after one fails: rows other
-            # workers finished must still reach the store (the resume
-            # guarantee), so the first error is re-raised only at the end.
-            error: Exception | None = None
-            for future in concurrent.futures.as_completed(futures):
-                try:
-                    row = future.result()
-                except Exception as exc:
-                    error = error or exc
-                    continue
-                finish(futures[future], row)
-            if error is not None:
-                raise error
+            # Caller-supplied graphs ship once per worker process
+            # (initializer), not once per cell.
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=seed_graph_overrides if graphs else None,
+                initargs=(graphs,) if graphs else (),
+            ) as pool:
+                futures = {
+                    pool.submit(run_cell_timed, holders[0][1], None, trace_cells): key
+                    for key, holders in pending.items()
+                }
+                # Drain every completed future even after one fails: rows
+                # other workers finished must still reach the store (the
+                # resume guarantee), so the first error is re-raised only at
+                # the end.
+                error: Exception | None = None
+                for future in concurrent.futures.as_completed(futures):
+                    try:
+                        row, wall_s, spans = future.result()
+                    except Exception as exc:
+                        error = error or exc
+                        continue
+                    finish(futures[future], row, wall_s, spans)
+                if error is not None:
+                    raise error
+        root.set(executed=len(pending), resumed=len(cells) - len(pending))
+    metrics.gauge("sweep.jobs").set(jobs)
 
     return SweepSummary(
         total=len(cells),
@@ -195,4 +242,6 @@ def run_sweep(
         skipped=len(cells) - len(pending),
         rows=[results[index] for index in range(len(cells))],
         store_path=str(store.path) if store.path is not None else None,
+        wall_seconds=time.perf_counter() - started,
+        cell_wall_seconds=cell_wall_total,
     )

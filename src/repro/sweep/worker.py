@@ -21,6 +21,7 @@ Every metric in the returned row is a plain int/float.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from repro.sweep.matrix import SweepCell, config_to_dict
@@ -28,7 +29,7 @@ from repro.sweep.matrix import SweepCell, config_to_dict
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.graph import Graph
 
-__all__ = ["ROW_FORMAT", "run_cell"]
+__all__ = ["ROW_FORMAT", "run_cell", "run_cell_timed"]
 
 #: Result-row schema version, stamped into every row :func:`run_cell` emits.
 #: Bumped when the cell-key derivation changes incompatibly, so resuming a
@@ -84,7 +85,7 @@ def _abbreviation_for(cell: SweepCell, graph: "Graph | None") -> str:
     return dataset_spec(cell.dataset).abbreviation
 
 
-def run_cell(cell: SweepCell, graph: "Graph | None" = None) -> dict:
+def run_cell(cell: SweepCell, graph: "Graph | None" = None, *, tracer=None) -> dict:
     """Execute one scenario cell and return its result-store row.
 
     Args:
@@ -92,6 +93,9 @@ def run_cell(cell: SweepCell, graph: "Graph | None" = None) -> dict:
         graph: Optional pre-built dataset graph (in-process sweeps over
             caller-supplied graphs); defaults to the memoized synthetic
             build for the cell's (dataset, scale, seed).
+        tracer: Optional :class:`repro.obs.Tracer` installed on the backend
+            so the execution emits its span hierarchy.  Tracing never
+            touches the row: traced and untraced cells are byte-identical.
 
     Returns:
         A JSON-serializable row.  Backends that do not support the cell's
@@ -103,6 +107,8 @@ def run_cell(cell: SweepCell, graph: "Graph | None" = None) -> dict:
     from repro.plan.lowering import lower
 
     backend = executor(cell.backend)
+    if tracer is not None and hasattr(backend, "tracer"):
+        backend.tracer = tracer
     row = {
         "row_format": ROW_FORMAT,
         "key": cell.key(),
@@ -146,3 +152,43 @@ def run_cell(cell: SweepCell, graph: "Graph | None" = None) -> dict:
         )
     row["metrics"] = metrics
     return row
+
+
+def run_cell_timed(
+    cell: SweepCell, graph: "Graph | None" = None, trace: bool = False
+) -> tuple[dict, float, list[dict] | None]:
+    """Run one cell with host wall-time (and, optionally, span) capture.
+
+    The runner's unit of work since the observability layer: returns
+    ``(row, wall_seconds, span_records)`` where ``row`` is exactly what
+    :func:`run_cell` produces (byte-identical, traced or not), ``wall_seconds``
+    is the cell's host execution time, and ``span_records`` is the serialized
+    span segment of this process (one ``cell`` root enclosing the backend's
+    ``inference → layer → op`` spans) or ``None`` when ``trace`` is off.
+    Picklable end to end, so the pool path ships segments back to the parent
+    for the merged multi-worker timeline.
+    """
+    from repro.obs.tracer import Tracer
+
+    tracer = Tracer() if trace else None
+    start = time.perf_counter()
+    if tracer is None:
+        row = run_cell(cell, graph)
+    else:
+        with tracer.span(
+            "cell",
+            category="cell",
+            dataset=cell.dataset,
+            family=cell.family,
+            backend=cell.backend,
+            config=cell.config.name,
+            key=cell.key(),
+        ) as span:
+            row = run_cell(cell, graph, tracer=tracer)
+        metrics = row.get("metrics") or {}
+        if "cycles" in metrics:
+            span.set(cycles=metrics["cycles"], mac_operations=metrics["mac_operations"])
+        span.set(supported=row["supported"])
+    wall = time.perf_counter() - start
+    spans = [record.as_dict() for record in tracer.records] if tracer else None
+    return row, wall, spans

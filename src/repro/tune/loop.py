@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.hw.config import AcceleratorConfig, design_preset
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.design_space import DesignPoint, pareto_front
 from repro.sweep.matrix import DatasetCase, ScenarioMatrix, SweepCell
 from repro.sweep.runner import run_sweep
@@ -205,6 +207,8 @@ def run_tune(
     proposer: Proposer | None = None,
     progress=None,
     log: Callable[[str], None] | None = None,
+    tracer=None,
+    metrics=None,
 ) -> TuneResult:
     """Run the closed sweep → aggregate → propose loop.
 
@@ -221,6 +225,13 @@ def run_tune(
         progress: Per-cell progress callback, forwarded to ``run_sweep``.
         log: Optional line sink for per-generation summaries (the CLI passes
             stderr).
+        tracer: Optional :class:`repro.obs.Tracer`; each generation becomes
+            a span enclosing its sweep's merged fleet timeline.  Tracing
+            never changes the search: proposals read rows, never wall time.
+        metrics: Optional :class:`repro.obs.MetricsRegistry` receiving the
+            loop counters (``tune.proposals``, ``tune.dedup_skips``,
+            ``tune.generations``, the ``tune.pareto_size`` gauge) on top of
+            the sweep counters each generation records.
 
     Returns:
         A :class:`TuneResult`; ``best`` is the highest-β evaluated design.
@@ -229,6 +240,8 @@ def run_tune(
         store = ResultStore(None)
     if proposer is None:
         proposer = ParetoMutationProposer(mac_budget=spec.mac_budget)
+    tracer = tracer or NULL_TRACER
+    metrics = metrics or NULL_METRICS
 
     from repro.analysis.sweep_aggregate import beta_rows, design_points_from_rows
 
@@ -245,13 +258,34 @@ def run_tune(
             if log is not None:
                 log(f"tune: generation {generation}: search exhausted, stopping early")
             break
-        summary = run_sweep(population, store=store, jobs=jobs, progress=progress)
+        with tracer.span(
+            f"generation{generation}",
+            category="tune",
+            generation=generation,
+            population=len(population),
+        ) as generation_span:
+            summary = run_sweep(
+                population,
+                store=store,
+                jobs=jobs,
+                progress=progress,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        metrics.counter("tune.generations").inc()
         executed_total += summary.executed
         for row in summary.rows:
             rows_by_key[row["key"]] = row
 
         points = design_points_from_rows(rows_by_key.values())
         survivors, pareto_size, best_beta, best_name = _survivors(points, spec.baseline)
+        metrics.gauge("tune.pareto_size").set(pareto_size)
+        generation_span.set(
+            executed=summary.executed,
+            resumed=summary.skipped,
+            pareto_size=pareto_size,
+            best_beta=best_beta,
+        )
         reports.append(
             GenerationReport(
                 index=generation,
@@ -284,7 +318,10 @@ def run_tune(
             batch = proposer.propose(
                 survivors, rng=rng, count=spec.population - len(population)
             )
-            population.extend(_claim_fresh(spec, batch, taken))
+            fresh = _claim_fresh(spec, batch, taken)
+            metrics.counter("tune.proposals").inc(len(batch))
+            metrics.counter("tune.dedup_skips").inc(len(batch) - len(fresh))
+            population.extend(fresh)
 
     rows = list(rows_by_key.values())
     betas = beta_rows(rows, baseline=spec.baseline) if rows else []

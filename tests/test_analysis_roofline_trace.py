@@ -80,6 +80,28 @@ class TestResultExport:
         assert rows[1]["model"] == "GAT"
         assert float(rows[0]["latency_s"]) > 0
 
+    def test_csv_column_order_is_pinned(self, gcn_result):
+        """The export's column order is a contract for downstream readers.
+
+        Columns are derived from ``InferenceResult.summary()`` (so new
+        summary fields can never silently go missing — the old literal list
+        had dropped the per-phase cycle columns); this pin catches any
+        accidental reorder or rename.
+        """
+        header = results_to_csv([gcn_result]).splitlines()[0]
+        assert header == (
+            "dataset,model,config,cycles,latency_s,weighting_cycles,"
+            "aggregation_cycles,macs,dram_bytes,effective_tops,energy_j,"
+            "inferences_per_kj"
+        )
+
+    def test_csv_rows_carry_every_summary_value(self, gcn_result):
+        (row,) = list(csv.DictReader(io.StringIO(results_to_csv([gcn_result]))))
+        summary = gcn_result.summary()
+        assert set(row) == set(summary)
+        assert int(row["weighting_cycles"]) == summary["weighting_cycles"]
+        assert int(row["aggregation_cycles"]) == summary["aggregation_cycles"]
+
     def test_phase_table_totals_match_result(self, gcn_result):
         rows = phase_table(gcn_result)
         assert sum(row["total_cycles"] for row in rows) == sum(

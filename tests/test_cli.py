@@ -205,3 +205,71 @@ class TestCommands:
     def test_cache_command_rejects_unknown_mechanism(self, capsys):
         assert main(["cache", "--dataset", "cora", "--mechanism", "belady"]) == 2
         assert "unknown mechanisms" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_parser_accepts_family_and_model_alias(self):
+        assert build_parser().parse_args(["profile", "--family", "gat"]).family == "gat"
+        assert build_parser().parse_args(["profile", "--model", "gat"]).family == "gat"
+
+    def test_profile_table_output(self, capsys):
+        assert main(["profile", "--dataset", "cora", "--family", "gcn", "--scale", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "Span attribution" in output
+        assert "inference/layer0/op:weighting" in output
+        assert "Metrics" in output and "executor.cache_sim.runs" in output
+
+    def test_profile_json_report(self, capsys):
+        assert main(
+            ["profile", "--dataset", "cora", "--family", "gcn", "--scale", "0.2", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        op_cycles = sum(
+            row["cycles"] for row in report["spans"] if "/op:" in row["span"] or "preprocess" in row["span"]
+        )
+        assert op_cycles == report["summary"]["cycles"]
+        assert report["trace"] is None
+        assert any(row["name"] == "executor.cache_sim.runs" for row in report["metrics"])
+
+    def test_profile_trace_and_metrics_files(self, tmp_path, capsys):
+        from repro.obs import assert_valid_chrome_trace
+
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.csv"
+        assert main(
+            [
+                "profile",
+                "--dataset", "cora",
+                "--family", "gcn",
+                "--scale", "0.2",
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(metrics_path),
+            ]
+        ) == 0
+        document = json.loads(trace_path.read_text())
+        assert_valid_chrome_trace(document)
+        # The acceptance invariant: per-phase-op modeled cycles in the trace
+        # sum to the inference's total_cycles (stored in the metadata).
+        op_cycles = sum(
+            event["args"].get("cycles", 0)
+            for event in document["traceEvents"]
+            if event["ph"] == "B" and event.get("cat") == "op"
+        )
+        assert op_cycles == document["metadata"]["total_cycles"]
+        # Layer tracks: thread metadata names one row per layer.
+        thread_names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert "layer 0" in thread_names and "inference" in thread_names
+        assert metrics_path.read_text().startswith("name,kind,labels,value")
+        assert str(trace_path) in capsys.readouterr().out
+
+    def test_profile_design_override(self, capsys):
+        assert main(
+            ["profile", "--dataset", "cora", "--family", "gcn", "--scale", "0.2",
+             "--design", "E", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["config"].startswith("Design E")

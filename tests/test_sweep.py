@@ -279,13 +279,15 @@ class TestRunner:
         run_sweep(
             small_matrix,
             jobs=1,
-            progress=lambda cell, row, done, total, cached: seen.append(
-                (done, total, cached)
+            progress=lambda cell, row, done, total, cached, wall_s: seen.append(
+                (done, total, cached, wall_s)
             ),
         )
         assert len(seen) == 4
-        assert seen[-1] == (4, 4, False)
-        assert not any(cached for _, _, cached in seen)
+        assert seen[-1][:3] == (4, 4, False)
+        assert not any(cached for _, _, cached, _ in seen)
+        # Executed cells report their host wall time.
+        assert all(wall_s > 0 for _, _, _, wall_s in seen)
 
     def test_progress_fires_for_resumed_cells_flagged_cached(self, small_matrix, tmp_path):
         """Resumed cells report progress too, so done/total never jumps.
@@ -301,7 +303,9 @@ class TestRunner:
             small_matrix,
             store=ResultStore(store_path),
             jobs=1,
-            progress=lambda cell, row, done, total, cached: seen.append((done, cached)),
+            progress=lambda cell, row, done, total, cached, wall_s: seen.append(
+                (done, cached)
+            ),
         )
         # Counter covers every cell exactly once: resumed first (cached),
         # then the two freshly executed.
@@ -556,3 +560,78 @@ class TestSweepCLI:
             "Design A",
             "Design E (GNNIE)",
         }
+
+
+class TestSweepTraceCLI:
+    def test_sweep_trace_flag_writes_valid_merged_trace(self, tmp_path, capsys):
+        from repro.obs import assert_valid_chrome_trace
+
+        trace_path = tmp_path / "fleet.json"
+        argv = [
+            "sweep",
+            "--datasets", "cora",
+            "--models", "gcn,gat",
+            "--backends", "gnnie",
+            "--scale", "0.1",
+            "--jobs", "2",
+            "--store", str(tmp_path / "t.jsonl"),
+            "--trace", str(trace_path),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "rows/s" in captured.out  # final summary line
+        assert str(trace_path) in captured.err
+        document = json.loads(trace_path.read_text())
+        assert_valid_chrome_trace(document)
+        cells = [
+            e for e in document["traceEvents"]
+            if e["ph"] == "B" and e.get("cat") == "cell"
+        ]
+        assert len(cells) == 2
+        # Cells executed in worker processes keep their own pid track.
+        assert len({e["pid"] for e in cells}) >= 1
+        metric_names = {m["name"] for m in document["metadata"]["metrics"]}
+        assert "sweep.cells.executed" in metric_names
+
+    def test_traced_sweep_rows_match_untraced_store(self, tmp_path, capsys):
+        base = [
+            "sweep",
+            "--datasets", "cora",
+            "--models", "gcn",
+            "--backends", "gnnie",
+            "--scale", "0.1",
+            "--json",
+        ]
+        assert main(base + ["--store", str(tmp_path / "plain.jsonl")]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(
+            base
+            + ["--store", str(tmp_path / "traced.jsonl"),
+               "--trace", str(tmp_path / "trace.json")]
+        ) == 0
+        traced = json.loads(capsys.readouterr().out)
+        assert traced["rows"] == plain["rows"]
+
+    def test_tune_trace_flag_writes_valid_trace(self, tmp_path, capsys):
+        from repro.obs import assert_valid_chrome_trace
+
+        trace_path = tmp_path / "tune.json"
+        argv = [
+            "tune",
+            "--dataset", "cora",
+            "--model", "gcn",
+            "--scale", "0.1",
+            "--generations", "2",
+            "--population", "2",
+            "--store", str(tmp_path / "tune.jsonl"),
+            "--trace", str(trace_path),
+            "--json",
+        ]
+        assert main(argv) == 0
+        document = json.loads(trace_path.read_text())
+        assert_valid_chrome_trace(document)
+        generations = [
+            e for e in document["traceEvents"]
+            if e["ph"] == "B" and e.get("cat") == "tune"
+        ]
+        assert [e["name"] for e in generations] == ["generation0", "generation1"]
