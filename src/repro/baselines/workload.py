@@ -113,9 +113,11 @@ def workload_from_plan(plan: InferencePlan, graph: Graph) -> WorkloadEstimate:
     executors: every op contributes its analytic operation counts, resolved
     against the graph's vertex/edge statistics.
     """
+    from repro.sim.batch import pricing_context
+
     num_vertices = graph.num_vertices
     num_edges = graph.num_edges  # directed (2x undirected)
-    input_nonzeros = int(np.count_nonzero(graph.features))
+    input_nonzeros = pricing_context(graph).input_nonzeros()
     edge_counts: dict[AdjacencyRef, int] = {}
 
     def resolve_edges(ref: AdjacencyRef) -> int:

@@ -30,7 +30,12 @@ from repro.cache.policy import CachePolicyConfig, CacheSimulationResult, Iterati
 from repro.cache.trace import TraceRecorder
 from repro.graph.csr import CSRGraph
 
-__all__ = ["DegreeAwareCacheController", "simulate_vertex_order_baseline", "vertex_record_bytes"]
+__all__ = [
+    "DegreeAwareCacheController",
+    "UndirectedEdgeIndex",
+    "simulate_vertex_order_baseline",
+    "vertex_record_bytes",
+]
 
 
 def vertex_record_bytes(
@@ -53,8 +58,13 @@ def vertex_record_bytes(
     )
 
 
-class _UndirectedEdgeIndex:
-    """Undirected edge list plus per-vertex incidence lists (CSR layout)."""
+class UndirectedEdgeIndex:
+    """Undirected edge list plus per-vertex incidence lists (CSR layout).
+
+    A pure function of the adjacency, so one index can be shared across
+    every cache simulation of a graph (the batch execution path builds it
+    once per graph via :mod:`repro.sim.batch` and passes it in).
+    """
 
     def __init__(self, adjacency: CSRGraph) -> None:
         directed = adjacency.edge_array()
@@ -63,12 +73,18 @@ class _UndirectedEdgeIndex:
         self.num_edges = int(self.edges.shape[0])
         num_vertices = adjacency.num_vertices
         endpoints = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+        others = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
         edge_ids = np.concatenate([np.arange(self.num_edges)] * 2)
         order = np.argsort(endpoints, kind="stable")
         self._sorted_edge_ids = edge_ids[order]
+        #: Opposite endpoint of each incidence slot, aligned with
+        #: ``_sorted_edge_ids`` — lets :meth:`incident_edges_once` decide
+        #: which endpoint "owns" an edge without a sort-based dedup.
+        self._sorted_other = others[order]
         counts = np.bincount(endpoints, minlength=num_vertices)
         self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
         self.degrees = counts.astype(np.int64)
+        self.num_vertices = int(num_vertices)
 
     def incident_edges(self, vertices: np.ndarray) -> np.ndarray:
         """Edge ids incident to any of ``vertices`` (with duplicates removed).
@@ -89,6 +105,34 @@ class _UndirectedEdgeIndex:
         flat = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - counts), counts)
         return np.unique(self._sorted_edge_ids[flat])
 
+    def incident_edges_once(
+        self, vertices: np.ndarray, member_mask: np.ndarray
+    ) -> np.ndarray:
+        """Edge ids incident to ``vertices``, each listed exactly once.
+
+        ``vertices`` must be duplicate-free and ``member_mask`` a boolean
+        vertex array that is True exactly on ``vertices``.  An edge joining
+        two member vertices appears in both incidence slices; it is kept only
+        from its lower-numbered endpoint, which removes duplicates with O(n)
+        masking instead of the O(n log n) sort inside ``np.unique`` — the
+        dominant cost of large cache simulations.  Unlike
+        :meth:`incident_edges` the result is *unordered*; callers must be
+        order-independent.
+        """
+        if vertices.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self.indptr[vertices]
+        counts = self.indptr[vertices + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        ends = counts.cumsum()
+        flat = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - counts), counts)
+        others = self._sorted_other[flat]
+        owners = np.repeat(vertices, counts)
+        keep = ~member_mask[others] | (owners < others)
+        return self._sorted_edge_ids[flat[keep]]
+
 
 class DegreeAwareCacheController:
     """Simulates GNNIE's degree-aware caching policy on one graph."""
@@ -100,12 +144,15 @@ class DegreeAwareCacheController:
         *,
         bytes_per_vertex: int = 256,
         index_bytes: int = 4,
+        edge_index: UndirectedEdgeIndex | None = None,
     ) -> None:
         self.adjacency = adjacency
         self.policy = policy
         self.bytes_per_vertex = int(bytes_per_vertex)
         self.index_bytes = int(index_bytes)
-        self._edge_index = _UndirectedEdgeIndex(adjacency)
+        # An edge index is a pure function of the adjacency; callers running
+        # many simulations of one graph (buffer/γ sweeps) pass a shared one.
+        self._edge_index = edge_index if edge_index is not None else UndirectedEdgeIndex(adjacency)
         if policy.degree_ordered:
             degrees = adjacency.degrees()
             vertex_ids = np.arange(adjacency.num_vertices)
@@ -249,7 +296,7 @@ class DegreeAwareCacheController:
         self,
         processed: np.ndarray,
         alpha: np.ndarray,
-        edge_index: _UndirectedEdgeIndex,
+        edge_index: UndirectedEdgeIndex,
         result: CacheSimulationResult,
         round_index: int,
     ) -> int:
@@ -288,14 +335,17 @@ class DegreeAwareCacheController:
         resident: np.ndarray,
     ) -> tuple[np.ndarray, int]:
         """Fetch up to ``count`` unfinished, non-resident vertices from the stream."""
-        fetched: list[int] = []
-        while position < order.size and len(fetched) < count:
-            vertex = order[position]
-            position += 1
-            if alpha[vertex] == 0 or resident[vertex]:
-                continue
-            fetched.append(int(vertex))
-        return np.asarray(fetched, dtype=np.int64), position
+        if count <= 0 or position >= order.size:
+            return np.empty(0, dtype=np.int64), position
+        remaining = order[position:]
+        eligible = np.flatnonzero((alpha[remaining] > 0) & ~resident[remaining])
+        taken = eligible[:count]
+        fetched = remaining[taken].astype(np.int64, copy=False)
+        if taken.size < count:
+            # The stream ran out before filling the request: every position
+            # was consumed, exactly like the scalar scan.
+            return fetched, int(order.size)
+        return fetched, position + int(taken[-1]) + 1
 
     @staticmethod
     def _stream_has_more(order: np.ndarray, position: int, alpha: np.ndarray) -> bool:
@@ -310,12 +360,19 @@ class DegreeAwareCacheController:
         resident: np.ndarray,
         processed: np.ndarray,
         alpha: np.ndarray,
-        edge_index: _UndirectedEdgeIndex,
+        edge_index: UndirectedEdgeIndex,
     ) -> tuple[int, int]:
         """Process all previously unprocessed edges made resident by ``new_vertices``."""
         if new_vertices.size == 0:
             return 0, 0
-        candidates = edge_index.incident_edges(new_vertices)
+        # new_vertices come from _fetch over a stream-order permutation, so
+        # they are duplicate-free as incident_edges_once requires.  Every
+        # consumer below (boolean masks, subtract.at, bincount) is
+        # order-independent, so the unordered candidate list is equivalent
+        # to the sorted one.
+        member_mask = np.zeros(edge_index.num_vertices, dtype=bool)
+        member_mask[new_vertices] = True
+        candidates = edge_index.incident_edges_once(new_vertices, member_mask)
         if candidates.size == 0:
             return 0, 0
         candidates = candidates[~processed[candidates]]
@@ -345,14 +402,17 @@ class DegreeAwareCacheController:
         large γ evicts vertices that still have several unprocessed edges
         and must be refetched in a later Round (the Fig. 11 ablation).
         """
+        # flatnonzero yields ascending vertex ids and boolean selection
+        # preserves that order, so both slices are already in dictionary
+        # order — no sort needed.
         resident_ids = np.flatnonzero(resident)
         resident_alpha = alpha[resident_ids]
-        finished = np.sort(resident_ids[resident_alpha == 0])
+        finished = resident_ids[resident_alpha == 0]
         if finished.size >= count:
             return finished[:count]
-        candidates = np.sort(
-            resident_ids[(resident_alpha > 0) & (resident_alpha < self.policy.gamma)]
-        )
+        candidates = resident_ids[
+            (resident_alpha > 0) & (resident_alpha < self.policy.gamma)
+        ]
         return np.concatenate([finished, candidates[: count - finished.size]])
 
     @staticmethod

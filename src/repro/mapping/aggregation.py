@@ -136,6 +136,67 @@ class AggregationCycleModel:
             sfu_ops=int(sfu_ops),
         )
 
+    def iteration_totals(
+        self,
+        edges: np.ndarray,
+        max_edges_per_vertex: np.ndarray,
+        resident_vertices: np.ndarray,
+    ) -> IterationCost:
+        """Summed cost of a whole iteration sequence in one NumPy pass.
+
+        Takes the per-iteration columns of a cache simulation (edge counts,
+        worst single-vertex accumulation, resident-vertex counts) and prices
+        every iteration elementwise, returning the totals as one
+        :class:`IterationCost`.  Bit-exact with summing :meth:`iteration_cost`
+        record by record: every intermediate stays far below 2**53, so the
+        float64 divisions and ceilings round identically to the scalar path —
+        the batch executor relies on this to keep sweep rows byte-identical.
+        """
+        edges = np.asarray(edges, dtype=np.int64)
+        max_edges_per_vertex = np.asarray(max_edges_per_vertex, dtype=np.int64)
+        resident_vertices = np.asarray(resident_vertices, dtype=np.int64)
+        if edges.size == 0:
+            return IterationCost(0, 0, 0, 0, 0, 0)
+        if int(edges.min()) < 0:
+            raise ValueError("undirected_edges must be non-negative")
+        feature = self.feature_length
+        addition_ops = 2 * edges * feature
+        if self.is_gat:
+            multiply_ops = 2 * edges * feature
+            sfu_ops = 2 * edges * 2 + resident_vertices
+        else:
+            multiply_ops = np.zeros_like(edges)
+            sfu_ops = np.zeros_like(edges)
+        mac_ops = addition_ops + multiply_ops
+
+        if self.config.enable_aggregation_load_balancing:
+            compute_cycles = np.where(
+                mac_ops > 0, np.ceil(mac_ops / self._total_macs), 0.0
+            ).astype(np.int64)
+        else:
+            per_vertex_factor = 2 if self.is_gat else 1
+            average_share = mac_ops / float(self.config.num_cpes)
+            worst_vertex = max_edges_per_vertex * feature * per_vertex_factor
+            bottleneck = average_share + worst_vertex
+            compute_cycles = np.where(
+                mac_ops > 0, np.ceil(bottleneck / self._average_macs_per_cpe), 0.0
+            ).astype(np.int64)
+
+        per_op_latency = max(
+            self.sfu_config.exp_latency_cycles, self.sfu_config.leaky_relu_latency_cycles
+        )
+        sfu_cycles = np.where(
+            sfu_ops > 0, np.ceil(sfu_ops * per_op_latency / self._sfu_lanes), 0.0
+        ).astype(np.int64)
+        return IterationCost(
+            edges_processed=int(edges.sum()),
+            compute_cycles=int(compute_cycles.sum()),
+            sfu_cycles=int(sfu_cycles.sum()),
+            addition_ops=int(addition_ops.sum()),
+            multiply_ops=int(multiply_ops.sum()),
+            sfu_ops=int(sfu_ops.sum()),
+        )
+
     def finalization_cost(self, num_vertices: int) -> IterationCost:
         """Cost of the per-vertex wrap-up after all edges are aggregated.
 

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.cache.controller import (
     DegreeAwareCacheController,
+    UndirectedEdgeIndex,
     simulate_vertex_order_baseline,
     vertex_record_bytes,
 )
@@ -59,6 +60,7 @@ def run_cache_simulation(
     gamma: int | None = None,
     replacement_count: int | None = None,
     metrics=None,
+    edge_index: UndirectedEdgeIndex | None = None,
 ) -> CacheSimulationResult:
     """Run the caching policy selected by the configuration.
 
@@ -75,6 +77,11 @@ def run_cache_simulation(
     ``metrics`` is an optional :class:`repro.obs.MetricsRegistry`; when
     given, the hierarchy records its per-mechanism hit/miss/eviction
     counters into it (see :meth:`MissPathHierarchy.filter`).
+
+    ``edge_index`` is an optional pre-built
+    :class:`~repro.cache.controller.UndirectedEdgeIndex` of ``adjacency``
+    (a pure function of the graph); batch execution builds it once per
+    graph and shares it across the distinct buffer configurations.
     """
     capacity, record_bytes = input_buffer_capacity(adjacency, config, feature_length)
     collect_trace = config.miss_path_enabled
@@ -90,13 +97,35 @@ def run_cache_simulation(
             degree_ordered=True,
         )
         controller = DegreeAwareCacheController(
-            adjacency, policy, bytes_per_vertex=record_bytes
+            adjacency, policy, bytes_per_vertex=record_bytes, edge_index=edge_index
         )
         result = controller.run(collect_trace=collect_trace)
     if collect_trace and result.trace is not None:
         hierarchy = MissPathHierarchy.from_accelerator_config(config)
         result.miss_path = hierarchy.filter(result.trace, metrics=metrics)
     return result
+
+
+def _iteration_arrays(
+    cache_result: CacheSimulationResult,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-iteration (edges, max_edges_per_vertex, residents) columns.
+
+    Extracted once per simulation result and cached on it: a config batch
+    prices one cache simulation under many MAC allocations, and only the
+    model constants change between configs — the iteration columns do not.
+    """
+    arrays = getattr(cache_result, "_iteration_arrays", None)
+    if arrays is None:
+        records = cache_result.iterations
+        count = len(records)
+        arrays = (
+            np.fromiter((r.edges_processed for r in records), dtype=np.int64, count=count),
+            np.fromiter((r.max_edges_per_vertex for r in records), dtype=np.int64, count=count),
+            np.fromiter((r.resident_vertices for r in records), dtype=np.int64, count=count),
+        )
+        cache_result._iteration_arrays = arrays
+    return arrays
 
 
 def aggregation_phase_from_cache(
@@ -118,21 +147,13 @@ def aggregation_phase_from_cache(
     num_vertices = adjacency.num_vertices
     bytes_per_value = config.bytes_per_value
 
-    compute_cycles = 0
-    sfu_cycles = 0
-    mac_ops = 0
-    sfu_ops = 0
-
-    for record in cache_result.iterations:
-        cost = model.iteration_cost(
-            record.edges_processed,
-            max_edges_per_vertex=record.max_edges_per_vertex,
-            num_resident_vertices=record.resident_vertices,
-        )
-        compute_cycles += cost.compute_cycles
-        sfu_cycles += cost.sfu_cycles
-        mac_ops += cost.addition_ops + cost.multiply_ops
-        sfu_ops += cost.sfu_ops
+    # One vectorized pricing pass over the whole iteration sequence
+    # (bit-exact with the per-record scalar model; see iteration_totals).
+    totals = model.iteration_totals(*_iteration_arrays(cache_result))
+    compute_cycles = totals.compute_cycles
+    sfu_cycles = totals.sfu_cycles
+    mac_ops = totals.addition_ops + totals.multiply_ops
+    sfu_ops = totals.sfu_ops
 
     finalize = model.finalization_cost(num_vertices)
     sfu_cycles += finalize.sfu_cycles

@@ -29,8 +29,7 @@ Modeling notes
 
 from __future__ import annotations
 
-import weakref
-import zlib
+from dataclasses import replace
 
 import numpy as np
 
@@ -40,7 +39,7 @@ from repro.graph.graph import Graph
 from repro.hw.config import AcceleratorConfig
 from repro.hw.energy import AreaModel, EnergyBreakdown, EnergyModel
 from repro.mapping.attention import schedule_attention
-from repro.models.graphsage import NeighborSampler
+from repro.mapping.weighting import schedule_weighting
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.plan.executor import register_executor
@@ -57,26 +56,59 @@ from repro.plan.ir import (
     WeightingOp,
 )
 from repro.sim.aggregation_sim import aggregation_phase_from_cache, run_cache_simulation
+from repro.sim.batch import GraphPricingContext, adjacency_fingerprint, pricing_context
 from repro.sim.results import InferenceResult, LayerResult, PhaseResult
-from repro.sim.weighting_sim import simulate_weighting
+from repro.sim.weighting_sim import simulate_weighting, weighting_phase_from_schedule
 
 __all__ = ["GNNIEExecutor"]
 
 #: Throughput of the host-side preprocessing (degree binning), ops/cycle.
 _PREPROCESSING_OPS_PER_CYCLE = 8
 
+#: Backwards-compatible alias; the fingerprint moved to ``repro.sim.batch``
+#: so the sweep worker and the pricing context share one implementation.
+_adjacency_fingerprint = adjacency_fingerprint
 
-def _adjacency_fingerprint(adjacency: CSRGraph) -> tuple[int, int, int]:
-    """Stable content key for the per-(graph, config) cache-result memo.
 
-    ``id(adjacency)`` can alias a *different* graph once the original is
-    garbage collected, silently reusing a stale simulation; fingerprinting
-    the CSR content (vertex/edge counts plus a checksum over both arrays)
-    cannot.
+def _weighting_knobs(cfg: AcceleratorConfig) -> tuple:
+    """Every configuration field the Weighting phase result depends on.
+
+    The schedule reads the array shape, the MAC allocation and the three
+    balancing flags; the phase assembly additionally reads the value width
+    and the DRAM bandwidth per cycle.  Keying the phase memo on exactly
+    these knobs lets configs differing only in, say, γ or buffer sizing
+    share one priced Weighting phase.
     """
-    checksum = zlib.crc32(np.ascontiguousarray(adjacency.indptr).tobytes())
-    checksum = zlib.crc32(np.ascontiguousarray(adjacency.indices).tobytes(), checksum)
-    return (adjacency.num_vertices, adjacency.num_edges, checksum)
+    return (
+        cfg.num_rows,
+        cfg.num_cols,
+        cfg.macs_per_group,
+        cfg.rows_per_group,
+        cfg.enable_flexible_mac,
+        cfg.enable_zero_skipping,
+        cfg.enable_load_redistribution,
+        cfg.bytes_per_value,
+        cfg.dram_bandwidth_bytes_per_s,
+        cfg.frequency_hz,
+    )
+
+
+def _aggregation_knobs(cfg: AcceleratorConfig) -> tuple:
+    """Every configuration field the Aggregation pricing depends on
+    *besides* the cache-simulation key (which carries the buffer/γ/miss-path
+    knobs already)."""
+    return (
+        cfg.num_rows,
+        cfg.num_cols,
+        cfg.macs_per_group,
+        cfg.rows_per_group,
+        cfg.enable_aggregation_load_balancing,
+        cfg.bytes_per_value,
+        cfg.dram_bandwidth_bytes_per_s,
+        cfg.frequency_hz,
+        cfg.output_buffer_bytes,
+        cfg.enable_degree_aware_caching,
+    )
 
 
 class GNNIEExecutor:
@@ -101,12 +133,11 @@ class GNNIEExecutor:
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics or NULL_METRICS
         self._cache_results: dict[tuple, CacheSimulationResult] = {}
-        # id -> (weakref, fingerprint); weak references avoid pinning every
-        # simulated graph in memory, and a dead/realiased id is detected by
-        # the identity check on the dereferenced graph.
-        self._fingerprints: dict[
-            int, tuple[weakref.ref, tuple[int, int, int]]
-        ] = {}
+        #: Priced Aggregation phases keyed by (cache key, width, GAT-ness,
+        #: pricing knobs).  Per instance — like the cache-result memo — so a
+        #: batch sharing one executor dedupes identical pricings while the
+        #: scalar fresh-executor-per-cell path keeps its purity guarantee.
+        self._aggregation_memo: dict[tuple, PhaseResult] = {}
 
     # ------------------------------------------------------------------ #
     # Executor protocol
@@ -122,7 +153,10 @@ class GNNIEExecutor:
         # (e.g. a buffer-sweep cell) is simulated at the capacity it names.
         cfg = (config or self.config).resolve_input_buffer(graph.name)
         tracer = self.tracer
-        adjacencies: dict[AdjacencyRef, CSRGraph] = {}
+        # Graph-pure precompute (fingerprints, sampled adjacencies, block
+        # nonzero counts, RLC sizes, priced weighting phases) is shared
+        # process-wide per graph; see repro.sim.batch.
+        context = pricing_context(graph)
         with tracer.span(
             "inference",
             category="inference",
@@ -140,7 +174,7 @@ class GNNIEExecutor:
                     in_features=stage.in_features,
                     out_features=stage.out_features,
                 ) as layer_span:
-                    layer, slots = self._execute_layer(stage, graph, cfg, adjacencies)
+                    layer, slots = self._execute_layer(stage, graph, cfg, context)
                 layers.append(layer)
                 annotations.append((layer, layer_span, slots))
             for layer in layers:
@@ -163,6 +197,27 @@ class GNNIEExecutor:
                 self._annotate_spans(result, annotations, root)
         return result
 
+    def execute_batch(
+        self,
+        plan: InferencePlan,
+        graph: Graph,
+        configs: "list[AcceleratorConfig | None] | tuple[AcceleratorConfig | None, ...]",
+    ) -> list[InferenceResult]:
+        """Price one plan under many configurations on one executor.
+
+        The per-(plan, graph) precompute — CSR fingerprints, neighbor
+        sampling, per-block nonzero counts, exact RLC sizes, the undirected
+        edge index — is computed once (shared via the graph's pricing
+        context), the per-iteration cache columns are priced in one
+        vectorized NumPy pass per distinct workload, and the instance memos
+        dedupe cache-policy simulations by (graph, buffer config) and priced
+        phases by the knobs they read, so N configs cost one graph pass plus
+        N cheap pricing passes.  Each returned result is byte-identical to a
+        fresh executor's ``execute`` for the same config (the batch-vs-scalar
+        equivalence test pins this).
+        """
+        return [self.execute(plan, graph, config) for config in configs]
+
     def chip_area_mm2(self, config: AcceleratorConfig | None = None) -> float:
         return self.area_model.chip_area_mm2(config or self.config)
 
@@ -174,7 +229,7 @@ class GNNIEExecutor:
         stage: PlanLayer,
         graph: Graph,
         cfg: AcceleratorConfig,
-        adjacencies: dict[AdjacencyRef, CSRGraph],
+        context: GraphPricingContext,
     ) -> tuple[LayerResult, dict[str, list]]:
         weighting: PhaseResult | None = None
         attention: PhaseResult | None = None
@@ -207,13 +262,13 @@ class GNNIEExecutor:
             if isinstance(op, SampleOp):
                 with tracer.span("op:sample", category="op", layer=stage.index) as span:
                     self._resolve_adjacency(
-                        AdjacencyRef("sampled", op.sample_size), graph, adjacencies
+                        AdjacencyRef("sampled", op.sample_size), graph, context
                     )
                 # Sampling is plan-resolution work, free on the modeled chip.
                 span.set(cycles=0)
             elif isinstance(op, WeightingOp):
                 with tracer.span("op:weighting", category="op", layer=stage.index) as span:
-                    phase = self._weighting_phase(op, graph, cfg)
+                    phase = self._weighting_phase(op, graph, cfg, context)
                 weighting = accumulate(weighting, phase)
                 note(span, "weighting", phase)
             elif isinstance(op, AttentionOp):
@@ -223,8 +278,8 @@ class GNNIEExecutor:
                 note(span, "attention", phase)
             elif isinstance(op, AggregationOp):
                 with tracer.span("op:aggregation", category="op", layer=stage.index) as span:
-                    adjacency = self._resolve_adjacency(op.adjacency, graph, adjacencies)
-                    phase = self._aggregation_phase(op, adjacency, cfg)
+                    adjacency = self._resolve_adjacency(op.adjacency, graph, context)
+                    phase = self._aggregation_phase(op, adjacency, cfg, context)
                 aggregation = accumulate(aggregation, phase)
                 note(span, "aggregation", phase)
             elif isinstance(op, DenseMatmulOp):
@@ -252,29 +307,66 @@ class GNNIEExecutor:
     # Per-op handlers
     # ------------------------------------------------------------------ #
     def _weighting_phase(
-        self, op: WeightingOp, graph: Graph, cfg: AcceleratorConfig
+        self,
+        op: WeightingOp,
+        graph: Graph,
+        cfg: AcceleratorConfig,
+        context: GraphPricingContext,
     ) -> PhaseResult:
-        if op.is_input_layer and op.in_features == graph.feature_length:
+        exact_input = op.is_input_layer and op.in_features == graph.feature_length
+        density = HIDDEN_DENSITY if op.density is None else op.density
+        # Priced phases are memoized per graph on the knobs they actually
+        # read, so a config batch varying, say, γ or buffer sizes prices
+        # each distinct Weighting workload once.  The memo holds pristine
+        # copies: the overlap pass mutates phase results after pricing.
+        key = (
+            "weighting",
+            exact_input,
+            op.in_features,
+            op.out_features,
+            None if exact_input else density,
+            _weighting_knobs(cfg),
+        )
+        cached = context.phase_memo.get(key)
+        if cached is not None:
+            return replace(cached)
+        if exact_input:
+            # The input layer prices the dataset's actual sparse features:
+            # per-block nonzero counts and the exact RLC-compressed size are
+            # pure functions of (graph, block size | value width), shared
+            # across configs via the pricing context.
+            block_size = -(-op.in_features // cfg.num_rows)
+            schedule = schedule_weighting(
+                None,
+                op.out_features,
+                cfg,
+                block_nonzeros=context.input_blocks(block_size),
+                in_features=op.in_features,
+            )
+            phase = weighting_phase_from_schedule(
+                schedule,
+                graph.num_vertices,
+                op.in_features,
+                op.out_features,
+                cfg,
+                input_traffic_bits=context.input_rlc_bits(8 * cfg.bytes_per_value),
+            )
+        else:
+            # Later layers: statistical block nonzeros at the modeled density.
+            block_size = -(-op.in_features // cfg.num_rows)
+            num_blocks = -(-op.in_features // block_size)
+            per_block = int(round(density * block_size))
+            block_nonzeros = np.full(
+                (graph.num_vertices, num_blocks), per_block, dtype=np.int64
+            )
             phase, _ = simulate_weighting(
                 cfg,
                 op.out_features,
-                features=graph.features,
-                is_input_layer=True,
+                block_nonzeros=block_nonzeros,
+                in_features=op.in_features,
+                is_input_layer=False,
             )
-            return phase
-        # Later layers: statistical block nonzeros at the modeled density.
-        density = HIDDEN_DENSITY if op.density is None else op.density
-        block_size = -(-op.in_features // cfg.num_rows)
-        num_blocks = -(-op.in_features // block_size)
-        per_block = int(round(density * block_size))
-        block_nonzeros = np.full((graph.num_vertices, num_blocks), per_block, dtype=np.int64)
-        phase, _ = simulate_weighting(
-            cfg,
-            op.out_features,
-            block_nonzeros=block_nonzeros,
-            in_features=op.in_features,
-            is_input_layer=False,
-        )
+        context.phase_memo[key] = replace(phase)
         return phase
 
     def _attention_phase(
@@ -291,12 +383,23 @@ class GNNIEExecutor:
         )
 
     def _aggregation_phase(
-        self, op: AggregationOp, adjacency: CSRGraph, cfg: AcceleratorConfig
+        self,
+        op: AggregationOp,
+        adjacency: CSRGraph,
+        cfg: AcceleratorConfig,
+        context: GraphPricingContext,
     ) -> PhaseResult:
-        cache_result = self._cached_cache_result(adjacency, cfg, op.width)
-        return aggregation_phase_from_cache(
+        cache_key = self._cache_key(adjacency, cfg, context)
+        memo_key = (cache_key, op.width, op.weighted, _aggregation_knobs(cfg))
+        cached = self._aggregation_memo.get(memo_key)
+        if cached is not None:
+            return replace(cached)
+        cache_result = self._cached_cache_result(adjacency, cfg, op.width, context, cache_key)
+        phase = aggregation_phase_from_cache(
             cache_result, adjacency, cfg, op.width, is_gat=op.weighted
         )
+        self._aggregation_memo[memo_key] = replace(phase)
+        return phase
 
     def _dense_matmul_phase(
         self, op: DenseMatmulOp, graph: Graph, cfg: AcceleratorConfig
@@ -382,32 +485,33 @@ class GNNIEExecutor:
     # Helpers
     # ------------------------------------------------------------------ #
     def _resolve_adjacency(
-        self,
-        ref: AdjacencyRef,
-        graph: Graph,
-        adjacencies: dict[AdjacencyRef, CSRGraph],
+        self, ref: AdjacencyRef, graph: Graph, context: GraphPricingContext
     ) -> CSRGraph:
-        """Materialize an adjacency handle (memoized per execution)."""
+        """Materialize an adjacency handle (memoized per graph).
+
+        The neighbor sampler is deterministic (seeded by the vertex count),
+        so sharing the sampled adjacency across executions and configs
+        resolves every handle to the same subgraph the per-execution memo
+        used to produce.
+        """
         if ref.kind == "full":
             return graph.adjacency
         if ref.kind != "sampled":
             raise KeyError(f"unknown adjacency handle {ref!r}")
-        if ref not in adjacencies:
-            sampler = NeighborSampler(seed=graph.num_vertices)
-            sampled_edges = sampler.sample_edges(graph.adjacency, ref.sample_size or 25)
-            adjacencies[ref] = CSRGraph.from_edge_list(
-                sampled_edges, num_vertices=graph.num_vertices, symmetric=True
-            )
-        return adjacencies[ref]
+        return context.sampled_adjacency(ref.sample_size or 25)
 
-    def _cached_cache_result(
-        self, adjacency: CSRGraph, cfg: AcceleratorConfig, feature_length: int
-    ) -> CacheSimulationResult:
+    def _cache_key(
+        self, adjacency: CSRGraph, cfg: AcceleratorConfig, context: GraphPricingContext
+    ) -> tuple:
         # feature_length is intentionally absent: one cache sim per (graph,
         # buffer config) is shared across layers (see the modeling notes).
-        key = (
-            self._fingerprint(adjacency),
+        # bytes_per_value is present: it sets the per-vertex record size and
+        # therefore the buffer's vertex capacity, so quantization variants
+        # sharing one executor must not share one simulation.
+        return (
+            context.fingerprint(adjacency),
             cfg.input_buffer_bytes,
+            cfg.bytes_per_value,
             cfg.gamma,
             cfg.enable_degree_aware_caching,
             cfg.miss_path_mechanisms,
@@ -416,27 +520,45 @@ class GNNIEExecutor:
             cfg.stream_buffer_count,
             cfg.stream_buffer_depth,
         )
+
+    def _cached_cache_result(
+        self,
+        adjacency: CSRGraph,
+        cfg: AcceleratorConfig,
+        feature_length: int,
+        context: GraphPricingContext,
+        key: tuple | None = None,
+    ) -> CacheSimulationResult:
+        if key is None:
+            key = self._cache_key(adjacency, cfg, context)
         if key not in self._cache_results:
-            # Metrics are recorded only when the simulation actually runs;
-            # memo hits re-use the numbers without double-counting events.
-            self.metrics.counter("executor.cache_sim.runs").inc()
-            self._cache_results[key] = run_cache_simulation(
-                adjacency, cfg, feature_length, metrics=self.metrics
-            )
+            # The per-executor memo decides which feature_length primes the
+            # shared simulation (first op wins — the modeling contract);
+            # the actual run is then deduped process-wide through the
+            # graph context, keyed by (key, feature_length) so it stays a
+            # pure function of graph content and config.  Distinct
+            # executors priming with the same width — the per-family sweep
+            # groups of one dataset — share one simulation run.
+            pure_key = (*key, feature_length)
+            result = context.cache_results.get(pure_key)
+            if result is None:
+                # Metrics are recorded only when the simulation actually
+                # runs; memo hits re-use the numbers without
+                # double-counting events.
+                self.metrics.counter("executor.cache_sim.runs").inc()
+                edge_index = (
+                    context.edge_index(adjacency) if cfg.enable_degree_aware_caching else None
+                )
+                result = run_cache_simulation(
+                    adjacency, cfg, feature_length, metrics=self.metrics, edge_index=edge_index
+                )
+                context.cache_results[pure_key] = result
+            else:
+                self.metrics.counter("executor.cache_sim.context_hits").inc()
+            self._cache_results[key] = result
         else:
             self.metrics.counter("executor.cache_sim.memo_hits").inc()
         return self._cache_results[key]
-
-    def _fingerprint(self, adjacency: CSRGraph) -> tuple[int, int, int]:
-        """Per-instance memo of the O(E) content fingerprint."""
-        key = id(adjacency)
-        entry = self._fingerprints.get(key)
-        if entry is not None and entry[0]() is adjacency:
-            return entry[1]
-        fingerprint = _adjacency_fingerprint(adjacency)
-        self._fingerprints[key] = (weakref.ref(adjacency), fingerprint)
-        weakref.finalize(adjacency, self._fingerprints.pop, key, None)
-        return fingerprint
 
     @staticmethod
     def _overlap_layer_memory(layer: LayerResult) -> None:

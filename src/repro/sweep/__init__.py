@@ -7,8 +7,10 @@ treats the simulator as a fleet workload:
 
 * :mod:`repro.sweep.matrix` — :class:`ScenarioMatrix` expands the four axes
   into content-hashed, picklable :class:`SweepCell`\\ s,
-* :mod:`repro.sweep.worker` — :func:`run_cell` executes one cell with
-  per-process dataset/executor memos,
+* :mod:`repro.sweep.worker` — :func:`run_cell` executes one cell;
+  :func:`run_batch_timed` executes a whole (dataset, family) group of
+  config cells sharing one graph/plan/executor set (byte-identical rows,
+  one precompute pass),
 * :mod:`repro.sweep.store` — :class:`ResultStore`, an append-only JSONL
   store keyed by cell hash; re-running skips completed cells and a killed
   sweep resumes where it stopped,
@@ -31,7 +33,13 @@ from repro.sweep.matrix import (
 )
 from repro.sweep.runner import SweepSummary, run_sweep
 from repro.sweep.store import ResultStore, canonical_row
-from repro.sweep.worker import ROW_FORMAT, run_cell, run_cell_timed
+from repro.sweep.worker import (
+    ROW_FORMAT,
+    prime_graph_memo,
+    run_batch_timed,
+    run_cell,
+    run_cell_timed,
+)
 
 
 def __getattr__(name: str):
@@ -57,6 +65,8 @@ __all__ = [
     "config_to_dict",
     "derive_seed",
     "full_matrix",
+    "prime_graph_memo",
+    "run_batch_timed",
     "run_cell",
     "run_cell_timed",
     "run_sweep",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from repro.hw.config import AcceleratorConfig
@@ -65,9 +66,21 @@ def derive_seed(base_seed: int, dataset: str) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
-def config_to_dict(config: AcceleratorConfig) -> dict:
-    """JSON-serializable mapping of every configuration field."""
+@lru_cache(maxsize=256)
+def _config_dict(config: AcceleratorConfig) -> dict:
+    """Memoized ``asdict`` — a sweep serializes the same few configs for
+    thousands of cells, and ``dataclasses.asdict`` recursion dominates."""
     return asdict(config)
+
+
+def config_to_dict(config: AcceleratorConfig) -> dict:
+    """JSON-serializable mapping of every configuration field.
+
+    Returns a fresh top-level dict per call (values are immutable
+    scalars/tuples), so callers may add or drop keys without corrupting the
+    memo.
+    """
+    return dict(_config_dict(config))
 
 
 def config_from_dict(data: dict) -> AcceleratorConfig:
@@ -122,9 +135,18 @@ class SweepCell:
         }
 
     def key(self) -> str:
-        """Content hash identifying this cell in the result store."""
-        canonical = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        """Content hash identifying this cell in the result store.
+
+        Computed once per cell instance (the runner hashes each cell several
+        times: resume lookup, pending bookkeeping, row emission); the cell is
+        frozen, so the cached value can never go stale.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            canonical = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(canonical.encode()).hexdigest()[:16]
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def describe(self) -> str:
         return f"{self.dataset}/{self.family}/{self.backend}[{self.config.name}]"

@@ -18,6 +18,7 @@ store, never of scheduling.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -26,7 +27,12 @@ from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.sweep.matrix import ScenarioMatrix, SweepCell
 from repro.sweep.store import ResultStore
-from repro.sweep.worker import ROW_FORMAT, run_cell_timed, seed_graph_overrides
+from repro.sweep.worker import (
+    ROW_FORMAT,
+    run_batch_timed,
+    run_cell_timed,
+    seed_graph_overrides,
+)
 
 __all__ = ["SweepSummary", "run_sweep"]
 
@@ -37,6 +43,36 @@ __all__ = ["SweepSummary", "run_sweep"]
 #: across both paths; ``wall_seconds`` is the cell's host execution time
 #: (0.0 for cached cells), which is what the CLI's live rate/ETA reads.
 ProgressCallback = Callable[[SweepCell, dict, int, int, bool, float], None]
+
+
+def _batch_disabled() -> bool:
+    """``REPRO_NO_BATCH`` escape hatch: force the scalar per-cell path.
+
+    Any non-empty value other than ``"0"`` disables group batching — the CI
+    smoke job uses it to pin batch and scalar stores byte-identical, and it
+    doubles as a field workaround should a plug-in backend ever misbehave
+    under executor sharing.
+    """
+    value = os.environ.get("REPRO_NO_BATCH", "")
+    return bool(value) and value != "0"
+
+
+def _batch_groups(
+    pending: dict[str, list[tuple[int, SweepCell]]],
+) -> list[list[tuple[str, SweepCell]]]:
+    """Group pending cells by (dataset, scale, seed, family), in cell order.
+
+    One group becomes one :func:`~repro.sweep.worker.run_batch_timed` call:
+    its cells share a graph, a lowered plan, the baseline workload and one
+    executor per backend, so the per-(plan, graph) precompute is paid once
+    per group instead of once per cell.
+    """
+    groups: dict[tuple, list[tuple[str, SweepCell]]] = {}
+    for key, holders in pending.items():
+        cell = holders[0][1]
+        axes = (cell.dataset, cell.scale, cell.seed, cell.family)
+        groups.setdefault(axes, []).append((key, cell))
+    return list(groups.values())
 
 
 def _check_store_format(store: ResultStore) -> None:
@@ -120,6 +156,13 @@ def run_sweep(
         jobs: Worker processes.  ``1`` runs inline in this process (sharing
             its dataset/executor memos); ``>1`` fans out across a
             ``ProcessPoolExecutor`` with one deterministic row per cell.
+            Either way, pending cells are dispatched one *batch* per
+            (dataset, scale, seed, family) group — the group shares its
+            graph, lowered plan, baseline workload and per-backend executors
+            (see :func:`~repro.sweep.worker.run_batch_timed`), which is
+            byte-identical to per-cell execution but prices config batches
+            in one pass.  Set ``REPRO_NO_BATCH=1`` to force the scalar
+            per-cell path.
         graphs: Optional pre-built graphs keyed by cell dataset name,
             overriding the synthetic registry build (the design-space
             wrappers sweep caller-supplied graphs this way).  Requires an
@@ -202,11 +245,26 @@ def run_sweep(
                 if progress is not None:
                     progress(cell, row, completed, len(cells), False, wall_s)
 
+        batch = not _batch_disabled()
         if jobs == 1 or not pending:
-            for key, holders in pending.items():
-                cell = holders[0][1]
-                graph = graphs.get(cell.dataset) if graphs else None
-                finish(key, *run_cell_timed(cell, graph, trace_cells))
+            if batch:
+                # One batch per (dataset, scale, seed, family) group: the
+                # group's cells share graph/plan/workload/executors, and the
+                # executors carry this sweep's metrics registry so the
+                # executor-level dedupe counters (executor.cache_sim.runs /
+                # .memo_hits) land next to the fleet counters.
+                for group in _batch_groups(pending):
+                    graph = graphs.get(group[0][1].dataset) if graphs else None
+                    outcomes = run_batch_timed(
+                        [cell for _, cell in group], graph, trace_cells, metrics=metrics
+                    )
+                    for (key, _), outcome in zip(group, outcomes):
+                        finish(key, *outcome)
+            else:
+                for key, holders in pending.items():
+                    cell = holders[0][1]
+                    graph = graphs.get(cell.dataset) if graphs else None
+                    finish(key, *run_cell_timed(cell, graph, trace_cells))
         else:
             # Caller-supplied graphs ship once per worker process
             # (initializer), not once per cell.
@@ -215,10 +273,22 @@ def run_sweep(
                 initializer=seed_graph_overrides if graphs else None,
                 initargs=(graphs,) if graphs else (),
             ) as pool:
-                futures = {
-                    pool.submit(run_cell_timed, holders[0][1], None, trace_cells): key
-                    for key, holders in pending.items()
-                }
+                # Batch mode submits one work item per group (a failed group
+                # loses only its own rows); the scalar escape hatch submits
+                # one item per cell exactly as before.
+                futures: dict[concurrent.futures.Future, list[str]] = {}
+                if batch:
+                    for group in _batch_groups(pending):
+                        future = pool.submit(
+                            run_batch_timed, [cell for _, cell in group], None, trace_cells
+                        )
+                        futures[future] = [key for key, _ in group]
+                else:
+                    for key, holders in pending.items():
+                        future = pool.submit(
+                            run_cell_timed, holders[0][1], None, trace_cells
+                        )
+                        futures[future] = [key]
                 # Drain every completed future even after one fails: rows
                 # other workers finished must still reach the store (the
                 # resume guarantee), so the first error is re-raised only at
@@ -226,11 +296,13 @@ def run_sweep(
                 error: Exception | None = None
                 for future in concurrent.futures.as_completed(futures):
                     try:
-                        row, wall_s, spans = future.result()
+                        result = future.result()
                     except Exception as exc:
                         error = error or exc
                         continue
-                    finish(futures[future], row, wall_s, spans)
+                    outcomes = result if batch else [result]
+                    for key, outcome in zip(futures[future], outcomes):
+                        finish(key, *outcome)
                 if error is not None:
                     raise error
         root.set(executed=len(pending), resumed=len(cells) - len(pending))

@@ -1,35 +1,45 @@
-"""Sweep worker: executes one cell and returns its serializable result row.
+"""Sweep worker: executes cells and returns their serializable result rows.
 
-:func:`run_cell` is the unit of work the runner fans out.  It is a
-module-level function over a picklable :class:`~repro.sweep.matrix.SweepCell`
-so it crosses a ``ProcessPoolExecutor`` boundary unchanged, and it is what
-the in-process (``jobs=1``) path calls directly — both paths produce the
-same bytes.
+:func:`run_cell` is the scalar unit of work: a module-level function over a
+picklable :class:`~repro.sweep.matrix.SweepCell` so it crosses a
+``ProcessPoolExecutor`` boundary unchanged.  It creates a *fresh* executor
+per cell, so every row is trivially a pure function of its cell spec.
+
+:func:`run_batch_timed` is the batch unit of work the runner dispatches
+since the vectorized-batch layer: one call prices every pending cell of a
+(dataset, scale, seed, family) group while sharing the expensive
+per-(plan, graph) state across the group — the built graph, the lowered
+plan, the baseline workload derivation, and one executor per backend (whose
+content-keyed cache-simulation and phase memos then dedupe across configs).
+Sharing is byte-safe because every executor memo keys on the graph content
+fingerprint plus *every* config knob the memoized value depends on; the
+batch-vs-scalar equivalence test pins rows from both paths byte-identical.
 
 A per-process dataset memo keyed by (name, scale, seed) keeps the fan-out
-cheap: a worker process that receives many cells of one dataset builds its
-synthetic graph once.  Executors, by contrast, are created *fresh per
-cell*: the GNNIE executor shares one cache-policy simulation per (graph,
-buffer config), sized by whichever op primes it first, so an executor
-reused across cells would make a cell's numbers depend on which cells the
-scheduler happened to hand the same process earlier.  A fresh executor
-makes every row a pure function of its cell spec — the property that keeps
-store rows byte-identical across runs, job counts and machines.
+cheap: a worker process that receives many groups of one dataset builds its
+synthetic graph once, and :func:`prime_graph_memo` lets a long-lived caller
+(the benchmark session) seed it with graphs it already built.
 
-Every metric in the returned row is a plain int/float.
+Every metric in the returned rows is a plain int/float.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.sweep.matrix import SweepCell, config_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.graph import Graph
 
-__all__ = ["ROW_FORMAT", "run_cell", "run_cell_timed"]
+__all__ = [
+    "ROW_FORMAT",
+    "prime_graph_memo",
+    "run_batch_timed",
+    "run_cell",
+    "run_cell_timed",
+]
 
 #: Result-row schema version, stamped into every row :func:`run_cell` emits.
 #: Bumped when the cell-key derivation changes incompatibly, so resuming a
@@ -59,6 +69,20 @@ def seed_graph_overrides(graphs: dict[str, "Graph"] | None) -> None:
         _GRAPH_OVERRIDES.update(graphs)
 
 
+def prime_graph_memo(dataset: str, scale: float | None, seed: int, graph: "Graph") -> None:
+    """Seed this process's dataset memo with an already-built graph.
+
+    In-process (``jobs=1``) sweeps then skip the synthetic build for cells
+    matching ``(dataset, scale, seed)`` exactly — the benchmark session
+    builds its graphs once and shares them with every sweep it times.  The
+    caller must pass the graph the registry build would have produced for
+    that key; the memo does not verify content.
+    """
+    while len(_GRAPHS) >= _GRAPH_MEMO_LIMIT:
+        _GRAPHS.pop(next(iter(_GRAPHS)))
+    _GRAPHS[(dataset, scale, seed)] = graph
+
+
 def _graph_for(cell: SweepCell) -> "Graph":
     from repro.datasets.synthetic import build_dataset
 
@@ -85,6 +109,44 @@ def _abbreviation_for(cell: SweepCell, graph: "Graph | None") -> str:
     return dataset_spec(cell.dataset).abbreviation
 
 
+def _base_row(cell: SweepCell, abbreviation: str) -> dict:
+    """The row skeleton shared by the scalar and batch paths."""
+    return {
+        "row_format": ROW_FORMAT,
+        "key": cell.key(),
+        "dataset": cell.dataset,
+        "dataset_abbrev": abbreviation,
+        "scale": cell.scale,
+        "seed": cell.seed,
+        "family": cell.family,
+        "backend": cell.backend,
+        "config_name": cell.config.name,
+        "config": config_to_dict(cell.config),
+        "supported": True,
+        "metrics": None,
+    }
+
+
+def _result_metrics(cell: SweepCell, backend, result) -> dict:
+    """Plain-number metrics of one executed cell."""
+    metrics = {
+        "latency_seconds": float(result.latency_seconds),
+        "energy_joules": float(result.energy_joules),
+        "inferences_per_kilojoule": float(result.inferences_per_kilojoule),
+    }
+    # GNNIE's InferenceResult carries cycle/traffic detail and a chip area
+    # the store-backed Pareto aggregation needs; platform results do not.
+    if hasattr(result, "total_cycles"):
+        metrics.update(
+            cycles=int(result.total_cycles),
+            mac_operations=int(result.total_mac_operations),
+            dram_bytes=int(result.total_dram_bytes),
+            total_macs=int(cell.config.total_macs),
+            area_mm2=float(backend.chip_area_mm2(cell.config)),
+        )
+    return metrics
+
+
 def run_cell(cell: SweepCell, graph: "Graph | None" = None, *, tracer=None) -> dict:
     """Execute one scenario cell and return its result-store row.
 
@@ -109,20 +171,7 @@ def run_cell(cell: SweepCell, graph: "Graph | None" = None, *, tracer=None) -> d
     backend = executor(cell.backend)
     if tracer is not None and hasattr(backend, "tracer"):
         backend.tracer = tracer
-    row = {
-        "row_format": ROW_FORMAT,
-        "key": cell.key(),
-        "dataset": cell.dataset,
-        "dataset_abbrev": _abbreviation_for(cell, graph),
-        "scale": cell.scale,
-        "seed": cell.seed,
-        "family": cell.family,
-        "backend": cell.backend,
-        "config_name": cell.config.name,
-        "config": config_to_dict(cell.config),
-        "supported": True,
-        "metrics": None,
-    }
+    row = _base_row(cell, _abbreviation_for(cell, graph))
 
     # Unsupported (backend, family) combinations never need the graph, so
     # the row is produced without building the dataset.
@@ -135,45 +184,96 @@ def run_cell(cell: SweepCell, graph: "Graph | None" = None, *, tracer=None) -> d
         graph = _graph_for(cell)
     plan = lower(cell.family, graph)
     result = backend.execute(plan, graph, cell.config)
-    metrics = {
-        "latency_seconds": float(result.latency_seconds),
-        "energy_joules": float(result.energy_joules),
-        "inferences_per_kilojoule": float(result.inferences_per_kilojoule),
-    }
-    # GNNIE's InferenceResult carries cycle/traffic detail and a chip area
-    # the store-backed Pareto aggregation needs; platform results do not.
-    if hasattr(result, "total_cycles"):
-        metrics.update(
-            cycles=int(result.total_cycles),
-            mac_operations=int(result.total_mac_operations),
-            dram_bytes=int(result.total_dram_bytes),
-            total_macs=int(cell.config.total_macs),
-            area_mm2=float(backend.chip_area_mm2(cell.config)),
-        )
-    row["metrics"] = metrics
+    row["metrics"] = _result_metrics(cell, backend, result)
     return row
 
 
-def run_cell_timed(
-    cell: SweepCell, graph: "Graph | None" = None, trace: bool = False
-) -> tuple[dict, float, list[dict] | None]:
-    """Run one cell with host wall-time (and, optionally, span) capture.
+class _BatchGroup:
+    """Lazily-built shared state for one (dataset, scale, seed, family) group.
 
-    The runner's unit of work since the observability layer: returns
-    ``(row, wall_seconds, span_records)`` where ``row`` is exactly what
-    :func:`run_cell` produces (byte-identical, traced or not), ``wall_seconds``
-    is the cell's host execution time, and ``span_records`` is the serialized
-    span segment of this process (one ``cell`` root enclosing the backend's
-    ``inference → layer → op`` spans) or ``None`` when ``trace`` is off.
-    Picklable end to end, so the pool path ships segments back to the parent
-    for the merged multi-worker timeline.
+    Everything here is either a pure function of the group axes (graph,
+    plan, baseline workload) or an executor whose memos key on graph
+    content plus every relevant config knob — so sharing it across the
+    group's cells cannot change any row.  Laziness matters: a group whose
+    cells are all unsupported (backend, family) pairs never builds the
+    graph at all, exactly like the scalar path.
+    """
+
+    def __init__(self, graph: "Graph | None" = None, metrics=None) -> None:
+        self.built_graph = graph
+        self._plan = None
+        self._workload = None
+        self._executors: dict[str, object] = {}
+        self._metrics = metrics
+
+    def graph(self, cell: SweepCell) -> "Graph":
+        if self.built_graph is None:
+            self.built_graph = _graph_for(cell)
+        return self.built_graph
+
+    def plan(self, cell: SweepCell):
+        if self._plan is None:
+            from repro.plan.lowering import lower
+
+            self._plan = lower(cell.family, self.graph(cell))
+        return self._plan
+
+    def workload(self, cell: SweepCell):
+        if self._workload is None:
+            from repro.baselines.workload import workload_from_plan
+
+            self._workload = workload_from_plan(self.plan(cell), self.graph(cell))
+        return self._workload
+
+    def executor(self, name: str):
+        backend = self._executors.get(name)
+        if backend is None:
+            from repro.plan.executor import executor
+
+            backend = executor(name)
+            if self._metrics is not None and hasattr(backend, "metrics"):
+                backend.metrics = self._metrics
+            self._executors[name] = backend
+        return backend
+
+
+def _run_group_cell(cell: SweepCell, group: _BatchGroup, tracer=None) -> dict:
+    """One cell of a batch group: :func:`run_cell` semantics, shared state."""
+    backend = group.executor(cell.backend)
+    if tracer is not None and hasattr(backend, "tracer"):
+        backend.tracer = tracer
+    row = _base_row(cell, _abbreviation_for(cell, group.built_graph))
+
+    supports = getattr(backend, "supports", None)
+    if supports is not None and not supports(cell.family):
+        row["supported"] = False
+        return row
+
+    graph = group.graph(cell)
+    plan = group.plan(cell)
+    if getattr(backend, "uses_shared_workload", False):
+        result = backend.execute(plan, graph, cell.config, workload=group.workload(cell))
+    else:
+        result = backend.execute(plan, graph, cell.config)
+    row["metrics"] = _result_metrics(cell, backend, result)
+    return row
+
+
+def _timed_cell(
+    cell: SweepCell, trace: bool, execute: Callable
+) -> tuple[dict, float, list[dict] | None]:
+    """Time one cell execution, optionally under a fresh per-cell tracer.
+
+    ``execute`` receives the tracer (or ``None``) and returns the row.
+    Returns ``(row, wall_seconds, span_records)`` — the runner's per-cell
+    accounting unit for both the scalar and batch paths.
     """
     from repro.obs.tracer import Tracer
 
     tracer = Tracer() if trace else None
     start = time.perf_counter()
     if tracer is None:
-        row = run_cell(cell, graph)
+        row = execute(None)
     else:
         with tracer.span(
             "cell",
@@ -184,7 +284,7 @@ def run_cell_timed(
             config=cell.config.name,
             key=cell.key(),
         ) as span:
-            row = run_cell(cell, graph, tracer=tracer)
+            row = execute(tracer)
         metrics = row.get("metrics") or {}
         if "cycles" in metrics:
             span.set(cycles=metrics["cycles"], mac_operations=metrics["mac_operations"])
@@ -192,3 +292,53 @@ def run_cell_timed(
     wall = time.perf_counter() - start
     spans = [record.as_dict() for record in tracer.records] if tracer else None
     return row, wall, spans
+
+
+def run_cell_timed(
+    cell: SweepCell, graph: "Graph | None" = None, trace: bool = False
+) -> tuple[dict, float, list[dict] | None]:
+    """Run one cell with host wall-time (and, optionally, span) capture.
+
+    Returns ``(row, wall_seconds, span_records)`` where ``row`` is exactly
+    what :func:`run_cell` produces (byte-identical, traced or not),
+    ``wall_seconds`` is the cell's host execution time, and ``span_records``
+    is the serialized span segment of this process (one ``cell`` root
+    enclosing the backend's ``inference → layer → op`` spans) or ``None``
+    when ``trace`` is off.  Picklable end to end, so the pool path ships
+    segments back to the parent for the merged multi-worker timeline.
+    """
+    return _timed_cell(cell, trace, lambda tracer: run_cell(cell, graph, tracer=tracer))
+
+
+def run_batch_timed(
+    cells: Sequence[SweepCell],
+    graph: "Graph | None" = None,
+    trace: bool = False,
+    *,
+    metrics=None,
+) -> list[tuple[dict, float, list[dict] | None]]:
+    """Run one (dataset, scale, seed, family) group of cells as a batch.
+
+    The batch unit of work: all cells must share the group axes (they may
+    differ in backend and config).  The group's graph, plan, baseline
+    workload and per-backend executors are built once and shared, so a
+    config batch prices in one pass what the scalar path would recompute
+    per cell — while each cell still gets its own wall-clock timing and
+    (when ``trace`` is on) its own ``cell`` span root, exactly like
+    :func:`run_cell_timed`.
+
+    ``metrics`` is an optional :class:`repro.obs.MetricsRegistry` installed
+    on the group's executors, so inline (``jobs=1``) sweeps surface the
+    executor-level dedupe counters (``executor.cache_sim.runs`` /
+    ``.memo_hits``) alongside the fleet counters.
+
+    Returns one ``(row, wall_seconds, span_records)`` tuple per cell, in
+    input order; rows are byte-identical to the scalar path's.
+    """
+    group = _BatchGroup(graph=graph, metrics=metrics)
+    return [
+        _timed_cell(
+            cell, trace, lambda tracer, cell=cell: _run_group_cell(cell, group, tracer)
+        )
+        for cell in cells
+    ]

@@ -191,7 +191,7 @@ class TestIncidentEdgesVectorization:
         return np.unique(np.concatenate(pieces)) if pieces else np.empty(0, dtype=np.int64)
 
     def test_matches_reference_implementation(self, graph):
-        from repro.cache.controller import _UndirectedEdgeIndex
+        from repro.cache.controller import UndirectedEdgeIndex as _UndirectedEdgeIndex
 
         index = _UndirectedEdgeIndex(graph)
         rng = np.random.default_rng(5)
@@ -213,7 +213,7 @@ class TestIncidentEdgesVectorization:
         adjacency = CSRGraph.from_edge_list(
             [(0, 1), (1, 2)], num_vertices=4, symmetric=True
         )
-        from repro.cache.controller import _UndirectedEdgeIndex
+        from repro.cache.controller import UndirectedEdgeIndex as _UndirectedEdgeIndex
 
         index = _UndirectedEdgeIndex(adjacency)
         assert index.incident_edges(np.array([3], dtype=np.int64)).size == 0
