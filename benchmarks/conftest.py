@@ -77,7 +77,7 @@ def sweep_rows(datasets):
     simulations, which is where the suite's wall-time drop comes from.
     """
     from repro.models import MODEL_FAMILIES
-    from repro.sweep import ALL_BACKENDS, DatasetCase, ScenarioMatrix, run_sweep
+    from repro.sweep import ALL_BACKENDS, DatasetCase, RetryPolicy, ScenarioMatrix, run_sweep
 
     matrix = ScenarioMatrix(
         datasets=tuple(
@@ -87,7 +87,11 @@ def sweep_rows(datasets):
         backends=ALL_BACKENDS,
         seed=0,
     )
-    return run_sweep(matrix, jobs=1, graphs=datasets).rows
+    # Strict, no-retry policy: a benchmark bug should fail the session
+    # loudly via SweepError, never soak up silent retries or land failed
+    # rows that would skew the aggregated figures.
+    strict = RetryPolicy(max_attempts=1, failed_rows=False)
+    return run_sweep(matrix, jobs=1, graphs=datasets, retry=strict).rows
 
 
 @pytest.fixture(scope="session")

@@ -146,7 +146,7 @@ def speedup_rows(rows: Iterable[dict]) -> list[dict]:
     }
     entries: list[dict] = []
     for row in rows:
-        if row["backend"] == "gnnie" or not row["supported"]:
+        if row["backend"] == "gnnie" or not row["supported"] or row["metrics"] is None:
             continue
         reference = gnnie.get((row["dataset"], row["family"], _config_key(row)))
         if reference is None or reference["latency_seconds"] <= 0:

@@ -47,6 +47,22 @@ result store, fanning cells across worker processes::
     python -m repro sweep --store sweep.jsonl --json   # resumes: skips done cells
     python -m repro sweep --jobs 2 --store sweep.jsonl --trace sweep-trace.json
 
+The fleet is supervised: failing groups retry with backoff, batch groups
+degrade to per-cell execution to isolate a poisoned cell, crashed workers
+rebuild the pool, and permanently-failed cells land as explicit ``failed``
+rows (``--strict`` raises instead).  ``--faults`` arms a deterministic
+chaos plan (see :mod:`repro.faults`)::
+
+    python -m repro sweep --jobs 2 --timeout 30 --max-attempts 3 --store s.jsonl
+    python -m repro sweep --jobs 2 --faults plan.json --store s.jsonl
+
+Inspect and heal a result store (corrupt rows are quarantined at load, the
+``store`` tools excise or rewrite them)::
+
+    python -m repro store verify --store sweep.jsonl
+    python -m repro store repair --store sweep.jsonl
+    python -m repro store compact --store sweep.jsonl
+
 Close the design-space loop: generations of sweep -> aggregate -> propose,
 resumable through the same store machinery::
 
@@ -81,7 +97,17 @@ from repro.models import MODEL_FAMILIES
 from repro.plan import executor_names, lower
 from repro.sim import GNNIESimulator, input_buffer_capacity
 from repro.sim.trace import phase_table, result_to_json
-from repro.sweep import ResultStore, ScenarioMatrix, run_sweep
+from repro.sweep import (
+    ResultStore,
+    RetryPolicy,
+    ScenarioMatrix,
+    SweepError,
+    compact_store,
+    is_failed_row,
+    repair_store,
+    run_sweep,
+    verify_store,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -272,9 +298,58 @@ def build_parser() -> argparse.ArgumentParser:
         "(one track per worker process); rows are unchanged",
     )
     sweep_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="executions a failing group is charged before it degrades / "
+        "fails permanently (default: 2)",
+    )
+    sweep_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per dispatched group under --jobs > 1; an "
+        "expired group's worker is terminated and the group charged one "
+        "attempt (default: no timeout)",
+    )
+    sweep_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise one SweepError aggregating every permanent failure "
+        "instead of landing explicit failed rows",
+    )
+    sweep_parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="arm a deterministic fault-injection plan: a JSON file path or "
+        "inline JSON (chaos testing; see repro.faults)",
+    )
+    sweep_parser.add_argument(
         "--json", action="store_true", help="emit the summary and all rows as JSON"
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect and heal a result store (verify / repair / compact)",
+    )
+    store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+    for action, description in (
+        ("verify", "read-only health report; exit 1 if damage is found"),
+        ("repair", "excise corrupt lines into a .quarantine sidecar, drop a partial tail"),
+        ("compact", "rewrite one canonical checksummed line per key (last write wins)"),
+    ):
+        action_parser = store_subparsers.add_parser(action, help=description)
+        action_parser.add_argument(
+            "--store", required=True, help="result store path (JSONL)"
+        )
+        action_parser.add_argument(
+            "--json", action="store_true", help="emit the report as JSON"
+        )
+        action_parser.set_defaults(handler=_cmd_store, store_command=action)
 
     tune_parser = subparsers.add_parser(
         "tune",
@@ -651,8 +726,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if args.designs
             else None
         )
+        retry = RetryPolicy(
+            max_attempts=args.max_attempts if args.max_attempts is not None else 2,
+            timeout_seconds=args.timeout,
+            failed_rows=not args.strict,
+        )
+        if args.faults:
+            from repro.faults import install_plan
+
+            # Validate eagerly so a bad plan fails here, not inside a worker.
+            from repro.faults import FaultPlan
+
+            if args.faults.lstrip().startswith("{"):
+                FaultPlan.from_json(args.faults)
+            else:
+                with open(args.faults) as handle:
+                    FaultPlan.from_json(handle.read())
+            install_plan(args.faults)
         store = ResultStore(args.store, resume=not args.no_resume)
-    except (ValueError, KeyError) as error:
+    except (OSError, ValueError, KeyError) as error:
         print(str(error), file=sys.stderr)
         return 2
     matrix = ScenarioMatrix.build(
@@ -669,7 +761,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     started = time.perf_counter()
 
     def progress(cell, row, done, total, cached, wall_s):
-        status = "ok" if row["supported"] else "unsupported"
+        if is_failed_row(row):
+            status = f"failed ({row['error']['type']}, {row['attempts']} attempts)"
+        else:
+            status = "ok" if row["supported"] else "unsupported"
         status += " (resumed)" if cached else f" ({wall_s:.2f}s)"
         elapsed = time.perf_counter() - started
         rate = done / elapsed if elapsed > 0 else 0.0
@@ -688,10 +783,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=progress,
             tracer=tracer,
             metrics=metrics,
+            retry=retry,
         )
     except ValueError as error:  # e.g. an old-format store
         print(str(error), file=sys.stderr)
         return 2
+    except SweepError as error:  # --strict with permanent failures
+        print(f"sweep failed: {error}", file=sys.stderr)
+        return 1
     if args.trace:
         from repro.obs import write_chrome_trace
 
@@ -706,9 +805,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(summary.as_dict(), indent=2))
         return 0
+    fault_note = ""
+    if summary.failed or summary.retries or summary.timeouts or summary.pool_rebuilds:
+        fault_note = (
+            f", {summary.failed} failed [{summary.retries} retries, "
+            f"{summary.timeouts} timeouts, {summary.pool_rebuilds} pool rebuilds]"
+        )
     print(
         f"sweep: {summary.total} cells ({summary.executed} executed, "
-        f"{summary.skipped} resumed, {summary.unsupported} unsupported) "
+        f"{summary.skipped} resumed, {summary.unsupported} unsupported"
+        f"{fault_note}) "
         f"in {summary.wall_seconds:.2f}s ({summary.rows_per_second:.1f} rows/s) "
         f"-> {summary.store_path}"
     )
@@ -716,6 +822,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if rows:
         print()
         print(format_table(rows, title="GNNIE geomean speedup / energy gain per backend"))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    import os
+
+    if not os.path.exists(args.store):
+        print(f"no such store: {args.store}", file=sys.stderr)
+        return 2
+    action = {"verify": verify_store, "repair": repair_store, "compact": compact_store}[
+        args.store_command
+    ]
+    report = action(args.store)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(
+            f"{report.action} {report.path}: {report.lines} line(s), "
+            f"{report.rows} row(s) ({report.failed_rows} failed, "
+            f"{report.duplicate_keys} duplicate key(s), "
+            f"{report.unchecksummed_rows} without checksum)"
+        )
+        for number, reason in report.corrupt:
+            print(f"  corrupt line {number}: {reason}")
+        if report.partial_tail:
+            print("  partial tail (torn final write)")
+        if report.removed_lines:
+            print(f"  removed {report.removed_lines} line(s)")
+        if report.quarantine_path:
+            print(f"  quarantined evidence -> {report.quarantine_path}")
+    if args.store_command == "verify":
+        return 0 if report.clean else 1
     return 0
 
 

@@ -1,0 +1,52 @@
+"""Deterministic, seeded fault injection for the sweep/tune/store stack.
+
+Chaos testing a process-pool fleet needs faults that (a) cross the pickle
+boundary into worker processes and (b) replay byte-identically, so every
+failure a test provokes can be provoked again.  This package provides both:
+
+* :mod:`repro.faults.plan` — the declarative side.  A
+  :class:`~repro.faults.plan.FaultSpec` targets a fault *site* (``"cell"``
+  for worker execution, ``"store.append"`` for result-store writes) with a
+  subset match over the site's attributes (dataset, family, backend,
+  config name, cell key) and says what happens there: ``raise`` an
+  :class:`~repro.faults.plan.InjectedFault`, ``hang`` (sleep past the
+  supervisor's timeout), ``crash`` the worker process (``os._exit``), or
+  tear a store write mid-row (``torn_write``).  A
+  :class:`~repro.faults.plan.FaultPlan` bundles specs with a seed and
+  round-trips through JSON.
+* :mod:`repro.faults.inject` — the activation side.  A plan is *installed*
+  into the ``REPRO_FAULTS`` environment variable (inline JSON or a file
+  path), which worker processes inherit, so the same plan governs every
+  process of a fleet.  :func:`~repro.faults.inject.trip` is the hook the
+  instrumented sites call; with no plan installed it costs one dict lookup.
+
+Determinism contract: whether a spec fires is a pure function of
+``(plan seed, spec index, site attributes, attempt number)`` — attempts
+1..``times`` fire (``times=-1`` fires forever), and sub-1.0 probabilities
+are decided by a seeded hash, never a live RNG.  The same plan against the
+same sweep therefore produces the same failure sequence on every run.
+"""
+
+from repro.faults.inject import (
+    ENV_VAR,
+    active_plan,
+    clear_plan,
+    install_plan,
+    torn_write_bytes,
+    trip,
+)
+from repro.faults.plan import FAULT_KINDS, FAULT_SITES, FaultPlan, FaultSpec, InjectedFault
+
+__all__ = [
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "active_plan",
+    "clear_plan",
+    "install_plan",
+    "torn_write_bytes",
+    "trip",
+]

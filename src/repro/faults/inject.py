@@ -1,0 +1,105 @@
+"""Fault-plan activation and the site hooks instrumented code calls.
+
+A plan is installed into the :data:`ENV_VAR` environment variable — inline
+JSON, or a path to a JSON file — which ``ProcessPoolExecutor`` workers
+inherit, so one installation governs the whole fleet without touching any
+pickled arguments.  The parsed plan is cached per process keyed by the raw
+variable value, so the hot no-fault path costs a single ``os.environ``
+lookup and the cache refreshes automatically when a test swaps plans.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.faults.plan import FaultPlan, InjectedFault
+
+__all__ = [
+    "ENV_VAR",
+    "active_plan",
+    "clear_plan",
+    "install_plan",
+    "torn_write_bytes",
+    "trip",
+]
+
+#: Environment variable holding the active plan: inline JSON (anything
+#: starting with ``{``) or a path to a JSON file.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Per-process parse cache: (raw env value, parsed plan).
+_cache: tuple[str | None, FaultPlan | None] = (None, None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan installed in the environment, or ``None``."""
+    global _cache
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    if _cache[0] != raw:
+        text = raw if raw.lstrip().startswith("{") else Path(raw).read_text()
+        _cache = (raw, FaultPlan.from_json(text))
+    return _cache[1]
+
+
+def install_plan(plan: FaultPlan | str | os.PathLike) -> None:
+    """Install a plan process-tree-wide (pool workers inherit the variable).
+
+    Accepts a :class:`FaultPlan` (serialized inline) or a path to a plan
+    file (stored as-is, parsed lazily at each site).
+    """
+    value = plan.to_json() if isinstance(plan, FaultPlan) else str(plan)
+    os.environ[ENV_VAR] = value
+
+
+def clear_plan() -> None:
+    """Remove the installed plan (already-running workers keep theirs)."""
+    os.environ.pop(ENV_VAR, None)
+
+
+def trip(site: str, *, attempt: int = 1, **attrs) -> None:
+    """Fault-site hook: act out whichever armed spec fires here, if any.
+
+    ``raise`` raises :class:`InjectedFault`, ``hang`` sleeps
+    ``spec.hang_seconds`` (a supervised fleet times the worker out and
+    terminates it), ``crash`` exits the process without cleanup — exactly
+    the failure a segfaulting worker produces.  ``torn_write`` is not acted
+    on here; the store tears its own writes via :func:`torn_write_bytes`.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    spec = plan.find(site, attempt=attempt, **attrs)
+    if spec is None:
+        return
+    target = attrs.get("key") or dict(attrs) or site
+    if spec.kind == "raise":
+        raise InjectedFault(
+            f"injected fault at {site} (target {target}, attempt {attempt})"
+        )
+    if spec.kind == "hang":
+        time.sleep(spec.hang_seconds)
+        return
+    if spec.kind == "crash":
+        os._exit(spec.exit_code)
+
+
+def torn_write_bytes(key: str, data: bytes, *, attempt: int = 1) -> bytes | None:
+    """The torn prefix an armed ``torn_write`` fault leaves behind, if any.
+
+    Returns roughly the first half of ``data`` (never the whole line, never
+    the trailing newline) when a ``store.append`` spec of kind
+    ``torn_write`` fires for this key/attempt — the store writes exactly
+    that prefix and pretends the process died mid-``write``.  Returns
+    ``None`` when no fault fires.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    spec = plan.find("store.append", attempt=attempt, key=key)
+    if spec is None or spec.kind != "torn_write":
+        return None
+    return data[: max(1, len(data) // 2)]

@@ -1,4 +1,4 @@
-"""Parallel scenario sweeps with a resumable result store.
+"""Parallel scenario sweeps with a resumable, fault-tolerant result store.
 
 The paper evaluates GNNIE as a matrix — datasets × GNN families × platforms
 (Figs. 12–15) — and picks its flexible-MAC allocation and buffer sizes by
@@ -12,14 +12,21 @@ treats the simulator as a fleet workload:
   config cells sharing one graph/plan/executor set (byte-identical rows,
   one precompute pass),
 * :mod:`repro.sweep.store` — :class:`ResultStore`, an append-only JSONL
-  store keyed by cell hash; re-running skips completed cells and a killed
-  sweep resumes where it stopped,
+  store keyed by cell hash with per-row CRC32 armor; re-running skips
+  completed cells, a killed sweep resumes where it stopped, and corrupt
+  interior rows are quarantined instead of crashing the load,
+* :mod:`repro.sweep.repair` — offline store surgery (``repro store
+  verify|repair|compact``),
 * :mod:`repro.sweep.runner` — :func:`run_sweep` fans pending cells across a
-  process pool and streams rows into the store.
+  supervised process pool (:class:`RetryPolicy`: bounded retries with
+  backoff, per-group timeouts, pool rebuilds on worker crashes,
+  batch→scalar degradation) and streams rows into the store; cells that
+  fail permanently land as explicit ``failed`` rows.
 
-Store-backed aggregation (Pareto fronts, speedup tables) lives in
-:mod:`repro.analysis.sweep_aggregate`; the CLI front end is
-``python -m repro sweep``.
+Deterministic chaos testing for all of the above lives in
+:mod:`repro.faults`.  Store-backed aggregation (Pareto fronts, speedup
+tables) lives in :mod:`repro.analysis.sweep_aggregate`; the CLI front end
+is ``python -m repro sweep``.
 """
 
 from repro.sweep.matrix import (
@@ -31,10 +38,19 @@ from repro.sweep.matrix import (
     derive_seed,
     full_matrix,
 )
-from repro.sweep.runner import SweepSummary, run_sweep
-from repro.sweep.store import ResultStore, canonical_row
+from repro.sweep.repair import StoreReport, compact_store, repair_store, verify_store
+from repro.sweep.runner import RetryPolicy, SweepError, SweepSummary, run_sweep
+from repro.sweep.store import (
+    ResultStore,
+    StoreCorruptionWarning,
+    canonical_row,
+    is_failed_row,
+)
 from repro.sweep.worker import (
+    COMPATIBLE_ROW_FORMATS,
+    FAILED_ROW_FORMAT,
     ROW_FORMAT,
+    failed_row,
     prime_graph_memo,
     run_batch_timed,
     run_cell,
@@ -54,20 +70,31 @@ def __getattr__(name: str):
 
 __all__ = [
     "ALL_BACKENDS",
+    "COMPATIBLE_ROW_FORMATS",
     "DatasetCase",
-    "ScenarioMatrix",
-    "SweepCell",
-    "SweepSummary",
+    "FAILED_ROW_FORMAT",
     "ROW_FORMAT",
     "ResultStore",
+    "RetryPolicy",
+    "ScenarioMatrix",
+    "StoreCorruptionWarning",
+    "StoreReport",
+    "SweepCell",
+    "SweepError",
+    "SweepSummary",
     "canonical_row",
+    "compact_store",
     "config_from_dict",
     "config_to_dict",
     "derive_seed",
+    "failed_row",
     "full_matrix",
+    "is_failed_row",
     "prime_graph_memo",
+    "repair_store",
     "run_batch_timed",
     "run_cell",
     "run_cell_timed",
     "run_sweep",
+    "verify_store",
 ]

@@ -28,13 +28,17 @@ from __future__ import annotations
 import time
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.faults import trip
 from repro.sweep.matrix import SweepCell, config_to_dict
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graph.graph import Graph
 
 __all__ = [
+    "COMPATIBLE_ROW_FORMATS",
+    "FAILED_ROW_FORMAT",
     "ROW_FORMAT",
+    "failed_row",
     "prime_graph_memo",
     "run_batch_timed",
     "run_cell",
@@ -49,6 +53,16 @@ __all__ = [
 #: auto-sizing sentinel (default configs now serialize ``null`` instead of
 #: 524288, changing every default-config cell key).
 ROW_FORMAT = 2
+
+#: Schema version stamped into ``failed`` rows only (see :func:`failed_row`)
+#: — the format that introduced the ``status``/``error``/``attempts``
+#: fields.  Success rows keep :data:`ROW_FORMAT` and their exact pre-fault-
+#: tolerance bytes; cell keys are unchanged between the two formats, so
+#: both resume interchangeably (:data:`COMPATIBLE_ROW_FORMATS`).
+FAILED_ROW_FORMAT = 3
+
+#: Row formats the current runner can resume from.
+COMPATIBLE_ROW_FORMATS = frozenset({ROW_FORMAT, FAILED_ROW_FORMAT})
 
 #: Per-process dataset memo: (dataset, scale, seed) -> Graph.  Bounded so
 #: the jobs=1 path (which runs in the caller's process and lives as long as
@@ -127,6 +141,43 @@ def _base_row(cell: SweepCell, abbreviation: str) -> dict:
     }
 
 
+def _trip_cell_fault(cell: SweepCell, attempt: int) -> None:
+    """Fault-injection site for one cell-execution attempt (no plan → no-op)."""
+    trip(
+        "cell",
+        attempt=attempt,
+        key=cell.key(),
+        dataset=cell.dataset,
+        family=cell.family,
+        backend=cell.backend,
+        config_name=cell.config.name,
+    )
+
+
+def failed_row(cell: SweepCell, error: BaseException | str, attempts: int) -> dict:
+    """The explicit row of a permanently-failed cell.
+
+    Shares the success-row skeleton (same key, axes, config) so stores stay
+    uniformly keyed, plus ``status="failed"``, the error class and message,
+    and how many executions were attempted.  Stamped
+    :data:`FAILED_ROW_FORMAT`; :meth:`ResultStore.append` lets a later
+    healthy row for the same key override it.
+    """
+    try:
+        abbreviation = _abbreviation_for(cell, None)
+    except Exception:
+        abbreviation = cell.dataset
+    row = _base_row(cell, abbreviation)
+    row["row_format"] = FAILED_ROW_FORMAT
+    row["status"] = "failed"
+    row["error"] = {
+        "type": type(error).__name__ if isinstance(error, BaseException) else "Error",
+        "message": str(error),
+    }
+    row["attempts"] = attempts
+    return row
+
+
 def _result_metrics(cell: SweepCell, backend, result) -> dict:
     """Plain-number metrics of one executed cell."""
     metrics = {
@@ -147,7 +198,9 @@ def _result_metrics(cell: SweepCell, backend, result) -> dict:
     return metrics
 
 
-def run_cell(cell: SweepCell, graph: "Graph | None" = None, *, tracer=None) -> dict:
+def run_cell(
+    cell: SweepCell, graph: "Graph | None" = None, *, tracer=None, attempt: int = 1
+) -> dict:
     """Execute one scenario cell and return its result-store row.
 
     Args:
@@ -158,6 +211,8 @@ def run_cell(cell: SweepCell, graph: "Graph | None" = None, *, tracer=None) -> d
         tracer: Optional :class:`repro.obs.Tracer` installed on the backend
             so the execution emits its span hierarchy.  Tracing never
             touches the row: traced and untraced cells are byte-identical.
+        attempt: 1-based execution attempt (the supervised runner counts
+            retries); only read by the fault-injection plane.
 
     Returns:
         A JSON-serializable row.  Backends that do not support the cell's
@@ -168,6 +223,7 @@ def run_cell(cell: SweepCell, graph: "Graph | None" = None, *, tracer=None) -> d
     from repro.plan.executor import executor
     from repro.plan.lowering import lower
 
+    _trip_cell_fault(cell, attempt)
     backend = executor(cell.backend)
     if tracer is not None and hasattr(backend, "tracer"):
         backend.tracer = tracer
@@ -237,8 +293,11 @@ class _BatchGroup:
         return backend
 
 
-def _run_group_cell(cell: SweepCell, group: _BatchGroup, tracer=None) -> dict:
+def _run_group_cell(
+    cell: SweepCell, group: _BatchGroup, tracer=None, attempt: int = 1
+) -> dict:
     """One cell of a batch group: :func:`run_cell` semantics, shared state."""
+    _trip_cell_fault(cell, attempt)
     backend = group.executor(cell.backend)
     if tracer is not None and hasattr(backend, "tracer"):
         backend.tracer = tracer
@@ -295,7 +354,11 @@ def _timed_cell(
 
 
 def run_cell_timed(
-    cell: SweepCell, graph: "Graph | None" = None, trace: bool = False
+    cell: SweepCell,
+    graph: "Graph | None" = None,
+    trace: bool = False,
+    *,
+    attempt: int = 1,
 ) -> tuple[dict, float, list[dict] | None]:
     """Run one cell with host wall-time (and, optionally, span) capture.
 
@@ -307,7 +370,9 @@ def run_cell_timed(
     when ``trace`` is off.  Picklable end to end, so the pool path ships
     segments back to the parent for the merged multi-worker timeline.
     """
-    return _timed_cell(cell, trace, lambda tracer: run_cell(cell, graph, tracer=tracer))
+    return _timed_cell(
+        cell, trace, lambda tracer: run_cell(cell, graph, tracer=tracer, attempt=attempt)
+    )
 
 
 def run_batch_timed(
@@ -316,6 +381,7 @@ def run_batch_timed(
     trace: bool = False,
     *,
     metrics=None,
+    attempt: int = 1,
 ) -> list[tuple[dict, float, list[dict] | None]]:
     """Run one (dataset, scale, seed, family) group of cells as a batch.
 
@@ -338,7 +404,9 @@ def run_batch_timed(
     group = _BatchGroup(graph=graph, metrics=metrics)
     return [
         _timed_cell(
-            cell, trace, lambda tracer, cell=cell: _run_group_cell(cell, group, tracer)
+            cell,
+            trace,
+            lambda tracer, cell=cell: _run_group_cell(cell, group, tracer, attempt),
         )
         for cell in cells
     ]

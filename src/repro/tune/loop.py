@@ -37,7 +37,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.sim.design_space import DesignPoint, pareto_front
 from repro.sweep.matrix import DatasetCase, ScenarioMatrix, SweepCell
 from repro.sweep.runner import run_sweep
-from repro.sweep.store import ResultStore
+from repro.sweep.store import ResultStore, is_failed_row
 from repro.tune.proposer import ParetoMutationProposer, Proposer
 
 __all__ = ["TuneSpec", "GenerationReport", "TuneResult", "run_tune"]
@@ -209,6 +209,7 @@ def run_tune(
     log: Callable[[str], None] | None = None,
     tracer=None,
     metrics=None,
+    retry=None,
 ) -> TuneResult:
     """Run the closed sweep → aggregate → propose loop.
 
@@ -232,6 +233,10 @@ def run_tune(
             loop counters (``tune.proposals``, ``tune.dedup_skips``,
             ``tune.generations``, the ``tune.pareto_size`` gauge) on top of
             the sweep counters each generation records.
+        retry: Optional :class:`~repro.sweep.RetryPolicy` forwarded to each
+            generation's ``run_sweep``.  Cells that fail permanently land as
+            ``failed`` rows; the search skips them (a failed candidate is
+            simply never a survivor) instead of dying mid-loop.
 
     Returns:
         A :class:`TuneResult`; ``best`` is the highest-β evaluated design.
@@ -271,10 +276,17 @@ def run_tune(
                 progress=progress,
                 tracer=tracer,
                 metrics=metrics,
+                retry=retry,
             )
         metrics.counter("tune.generations").inc()
         executed_total += summary.executed
         for row in summary.rows:
+            # Permanently-failed cells carry no metrics; the search treats
+            # them as evaluated (never re-proposed) but never aggregates
+            # them into the Pareto front or β table.
+            if is_failed_row(row):
+                metrics.counter("tune.failed_rows").inc()
+                continue
             rows_by_key[row["key"]] = row
 
         points = design_points_from_rows(rows_by_key.values())

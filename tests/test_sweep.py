@@ -15,8 +15,11 @@ from repro.sweep import (
     ALL_BACKENDS,
     DatasetCase,
     ResultStore,
+    RetryPolicy,
     ScenarioMatrix,
+    StoreCorruptionWarning,
     SweepCell,
+    SweepError,
     config_from_dict,
     config_to_dict,
     derive_seed,
@@ -210,19 +213,23 @@ class TestResultStore:
 
     def test_unparseable_complete_tail_is_corruption_not_a_partial(self, tmp_path):
         """Appends always write 'row\\n', so a newline-terminated line can
-        never be a partial write — an unparseable one is real corruption."""
+        never be a partial write — an unparseable one is quarantined."""
         path = tmp_path / "store.jsonl"
         path.write_text('{"key":"a"}\nnot json\n')
-        with pytest.raises(ValueError, match="corrupt"):
-            ResultStore(path)
+        with pytest.warns(StoreCorruptionWarning, match="quarantined 1"):
+            store = ResultStore(path)
+        assert store.keys() == {"a"}
+        assert [line.number for line in store.quarantined] == [2]
         # The evidence is preserved, not silently truncated away.
         assert path.read_text() == '{"key":"a"}\nnot json\n'
 
-    def test_corrupt_interior_row_raises(self, tmp_path):
+    def test_corrupt_interior_row_is_quarantined_not_fatal(self, tmp_path):
         path = tmp_path / "store.jsonl"
         path.write_text('not json\n{"key":"a"}\n')
-        with pytest.raises(ValueError, match="corrupt"):
-            ResultStore(path)
+        with pytest.warns(StoreCorruptionWarning, match="repro store repair"):
+            store = ResultStore(path)
+        assert store.keys() == {"a"}
+        assert len(store.quarantined) == 1
 
     def test_no_resume_truncates(self, tmp_path):
         path = tmp_path / "store.jsonl"
@@ -342,15 +349,35 @@ class TestRunner:
 
     def test_worker_error_still_drains_finished_rows_to_store(self, tmp_path):
         """One failing cell must not discard rows other workers completed."""
+        strict = RetryPolicy(max_attempts=1, failed_rows=False)
         good = ScenarioMatrix.build(["cora"], ["gcn", "gat"], scale=0.1).cells()
         bad = SweepCell("cora", 0.1, good[0].seed, "nosuch", "gnnie", AcceleratorConfig())
         store_path = tmp_path / "err.jsonl"
-        with pytest.raises(KeyError, match="nosuch"):
-            run_sweep([*good, bad], store=ResultStore(store_path), jobs=2)
+        with pytest.raises(SweepError, match="nosuch") as excinfo:
+            run_sweep([*good, bad], store=ResultStore(store_path), jobs=2, retry=strict)
         assert ResultStore(store_path).keys() == {cell.key() for cell in good}
+        # Every failure is reported, with the landed-row count.
+        assert excinfo.value.failures[0]["error_type"] == "KeyError"
+        assert excinfo.value.rows_landed == len(good)
         # The resumed sweep re-executes only the failing cell.
-        with pytest.raises(KeyError, match="nosuch"):
-            run_sweep([*good, bad], store=ResultStore(store_path), jobs=2)
+        with pytest.raises(SweepError, match="nosuch"):
+            run_sweep([*good, bad], store=ResultStore(store_path), jobs=2, retry=strict)
+
+    def test_failing_cell_lands_failed_row_and_heals_on_resume(self, tmp_path):
+        """Default policy: the sweep completes, the bad cell is an explicit
+        failed row, and a later sweep re-executes exactly that cell."""
+        good = ScenarioMatrix.build(["cora"], ["gcn"], scale=0.1).cells()
+        bad = SweepCell("cora", 0.1, good[0].seed, "nosuch", "gnnie", AcceleratorConfig())
+        store_path = tmp_path / "failed.jsonl"
+        summary = run_sweep([*good, bad], store=ResultStore(store_path), jobs=1)
+        assert summary.failed == 1 and summary.retries >= 1
+        failed = [row for row in summary.rows if row.get("status") == "failed"]
+        assert failed[0]["error"]["type"] == "KeyError"
+        assert failed[0]["key"] == bad.key()
+        assert failed[0]["metrics"] is None
+        # Resume: only the failed cell re-executes (and fails again here).
+        resumed = run_sweep([*good, bad], store=ResultStore(store_path), jobs=1)
+        assert resumed.executed == 1 and resumed.skipped == len(good)
 
     def test_rejects_caller_graphs_with_persistent_store(self, tiny_graph, tmp_path):
         """Cell keys do not hash graph content, so a file-backed store could
@@ -536,11 +563,35 @@ class TestSweepCLI:
         assert main(["sweep", "--scale", "2.0", "--store", store]) == 2
         assert "(0, 1]" in capsys.readouterr().err
 
-    def test_sweep_reports_corrupt_store_cleanly(self, tmp_path, capsys):
+    def test_sweep_survives_corrupt_store(self, tmp_path, capsys):
+        """A corrupt interior line no longer kills the sweep: it is
+        quarantined at load and the sweep completes around it."""
         store = tmp_path / "corrupt.jsonl"
         store.write_text('not json\n{"key":"a"}\n')
-        assert main(["sweep", "--datasets", "cora", "--store", str(store)]) == 2
-        assert "corrupt" in capsys.readouterr().err
+        argv = [
+            "sweep",
+            "--datasets", "cora",
+            "--models", "gcn",
+            "--backends", "gnnie",
+            "--scale", "0.1",
+            "--store", str(store),
+            "--json",
+        ]
+        with pytest.warns(StoreCorruptionWarning):
+            assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 1
+
+    def test_store_verify_repair_cli_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "corrupt.jsonl"
+        store.write_text('not json\n{"key":"a"}\n')
+        assert main(["store", "verify", "--store", str(store)]) == 1
+        assert "corrupt line 1" in capsys.readouterr().out
+        assert main(["store", "repair", "--store", str(store), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed_lines"] == 1 and report["quarantine"]
+        assert store.read_text() == '{"key":"a"}\n'
+        assert (tmp_path / "corrupt.jsonl.quarantine").read_text() == "not json\n"
+        assert main(["store", "verify", "--store", str(store)]) == 0
 
     def test_sweep_designs_axis(self, tmp_path, capsys):
         argv = [
