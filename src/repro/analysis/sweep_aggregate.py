@@ -25,7 +25,7 @@ from repro.analysis.speedup import geometric_mean
 from repro.hw.config import AcceleratorConfig
 from repro.sim.design_space import DesignPoint, pareto_front
 from repro.sweep.matrix import config_from_dict
-from repro.sweep.store import ResultStore
+from repro.sweep.store import ResultStore, is_failed_row
 
 __all__ = [
     "load_rows",
@@ -49,6 +49,25 @@ def _config_key(row: dict) -> str:
     return json.dumps(row["config"], sort_keys=True, separators=(",", ":"))
 
 
+def _axis_key(row: dict) -> tuple:
+    """The full pairing key of a row: every axis that changes the workload.
+
+    A GNNIE reference and a baseline row are comparable only when they ran
+    the *same* simulation input — dataset name alone is not enough once a
+    store holds several scales, seeds or chip counts of one dataset.  Keying
+    on (dataset, scale, seed, chips, family, config) makes cross-scale or
+    cross-seed pairing (the last-loaded-wins bug) impossible.
+    """
+    return (
+        row["dataset"],
+        row.get("scale"),
+        row.get("seed"),
+        row.get("chips", 1),
+        row["family"],
+        _config_key(row),
+    )
+
+
 def load_rows(store: ResultStore | str | os.PathLike) -> list[dict]:
     """All rows of a result store (accepts a store object or its path)."""
     if not isinstance(store, ResultStore):
@@ -60,7 +79,10 @@ def _gnnie_rows(rows: Iterable[dict]) -> list[dict]:
     return [
         row
         for row in rows
-        if row["backend"] == "gnnie" and row["supported"] and row["metrics"] is not None
+        if row["backend"] == "gnnie"
+        and not is_failed_row(row)
+        and row["supported"]
+        and row["metrics"] is not None
     ]
 
 
@@ -132,29 +154,36 @@ def beta_rows(
 
 
 def speedup_rows(rows: Iterable[dict]) -> list[dict]:
-    """GNNIE-relative speedup and energy-gain per (dataset, family, backend).
+    """GNNIE-relative speedup and energy-gain per workload and backend.
 
-    For every (dataset, family, config) with a GNNIE row, each supported
-    baseline row becomes one entry: ``speedup`` is baseline latency over
-    GNNIE latency, ``energy_gain`` the same ratio for energy — the
-    quantities plotted in Figs. 12, 13 and 15.
+    For every (dataset, scale, seed, chips, family, config) with a GNNIE
+    row, each supported baseline row becomes one entry: ``speedup`` is
+    baseline latency over GNNIE latency, ``energy_gain`` the same ratio for
+    energy — the quantities plotted in Figs. 12, 13 and 15.  Pairing uses
+    the full :func:`_axis_key`, so a multi-scale/multi-seed store compares
+    each baseline row against the GNNIE row of *its own* workload instead
+    of whichever scale's reference loaded last; failed rows never pair.
     """
     rows = list(rows)
-    gnnie = {
-        (row["dataset"], row["family"], _config_key(row)): row["metrics"]
-        for row in _gnnie_rows(rows)
-    }
+    gnnie = {_axis_key(row): row["metrics"] for row in _gnnie_rows(rows)}
     entries: list[dict] = []
     for row in rows:
-        if row["backend"] == "gnnie" or not row["supported"] or row["metrics"] is None:
+        if (
+            row["backend"] == "gnnie"
+            or is_failed_row(row)
+            or not row["supported"]
+            or row["metrics"] is None
+        ):
             continue
-        reference = gnnie.get((row["dataset"], row["family"], _config_key(row)))
+        reference = gnnie.get(_axis_key(row))
         if reference is None or reference["latency_seconds"] <= 0:
             continue
         metrics = row["metrics"]
         entries.append(
             {
                 "dataset": row["dataset"],
+                "scale": row.get("scale"),
+                "seed": row.get("seed"),
                 "family": row["family"],
                 "backend": row["backend"],
                 "speedup": metrics["latency_seconds"] / reference["latency_seconds"],
@@ -169,9 +198,22 @@ def speedup_rows(rows: Iterable[dict]) -> list[dict]:
 
 
 def backend_geomeans(rows: Iterable[dict]) -> dict[str, dict[str, float]]:
-    """Per-backend geometric-mean speedup/energy-gain across all cells."""
+    """Per-backend geometric-mean speedup/energy-gain across all cells.
+
+    Failed rows (``status="failed"``) are excluded from every ratio but
+    surfaced per backend as a ``failed`` count, so a partially-broken sweep
+    reads as "geomean over N cells, M failed" instead of silently shrinking
+    its population.  A backend whose rows *all* failed still appears (zero
+    cells, zero geomeans) rather than vanishing from the table.
+    """
+    rows = list(rows)
+    failed_counts: dict[str, int] = {}
+    for row in rows:
+        if is_failed_row(row):
+            backend = row["backend"]
+            failed_counts[backend] = failed_counts.get(backend, 0) + 1
     entries = speedup_rows(rows)
-    backends = sorted({entry["backend"] for entry in entries})
+    backends = sorted({entry["backend"] for entry in entries} | set(failed_counts))
     return {
         backend: {
             "geomean_speedup": geometric_mean(
@@ -181,6 +223,7 @@ def backend_geomeans(rows: Iterable[dict]) -> dict[str, dict[str, float]]:
                 [e["energy_gain"] for e in entries if e["backend"] == backend]
             ),
             "cells": sum(1 for e in entries if e["backend"] == backend),
+            "failed": failed_counts.get(backend, 0),
         }
         for backend in backends
     }
@@ -192,6 +235,7 @@ def geomean_table_rows(rows: Iterable[dict]) -> list[dict]:
         {
             "backend": backend,
             "cells": stats["cells"],
+            "failed": stats["failed"],
             "gnnie_geomean_speedup": round(stats["geomean_speedup"], 2),
             "gnnie_geomean_energy_gain": round(stats["geomean_energy_gain"], 2),
         }

@@ -47,6 +47,13 @@ result store, fanning cells across worker processes::
     python -m repro sweep --store sweep.jsonl --json   # resumes: skips done cells
     python -m repro sweep --jobs 2 --store sweep.jsonl --trace sweep-trace.json
 
+Scale out across simulated multi-chip fleets (edge-cut partition plus
+halo-exchange traffic over the chip-to-chip link)::
+
+    python -m repro plan --dataset cora --model gcn --chips 4
+    python -m repro compare --dataset cora --model gcn --chips 4
+    python -m repro sweep --backends gnnie --chips 1,4,16 --store sweep.jsonl
+
 The fleet is supervised: failing groups retry with backoff, batch groups
 degrade to per-cell execution to isolate a poisoned cell, crashed workers
 rebuild the pool, and permanently-failed cells land as explicit ``failed``
@@ -180,11 +187,25 @@ def build_parser() -> argparse.ArgumentParser:
         "plan", help="show the lowered phase-op program for a (dataset, model) pair"
     )
     _add_workload_arguments(plan_parser)
+    plan_parser.add_argument(
+        "--chips",
+        type=int,
+        default=1,
+        help="partition across N simulated chips and show each chip's plan "
+        "with its spliced halo-exchange ops (default: 1, the plain plan)",
+    )
     plan_parser.add_argument("--json", action="store_true", help="emit the plan as JSON")
     plan_parser.set_defaults(handler=_cmd_plan)
 
     compare_parser = subparsers.add_parser("compare", help="compare against baseline platforms")
     _add_workload_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--chips",
+        type=int,
+        default=1,
+        help="run GNNIE scaled out across N simulated chips (baselines model "
+        "fixed silicon and always run single-chip; default: 1)",
+    )
     compare_parser.add_argument(
         "--json", action="store_true", help="emit the comparison rows as JSON"
     )
@@ -278,6 +299,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--seed", type=int, default=0,
         help="base seed; per-dataset seeds are derived deterministically from it",
+    )
+    sweep_parser.add_argument(
+        "--chips",
+        default="1",
+        help="comma-separated chip counts to sweep as a scale-out axis "
+        "(e.g. '1,4,16'); counts above 1 apply only to backends that "
+        "support scale-out (default: 1)",
     )
     sweep_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes (1 = run in-process)"
@@ -557,26 +585,94 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.chips < 1:
+        print("--chips must be >= 1", file=sys.stderr)
+        return 2
     graph, _ = _load(args)
     plan = lower(args.model, graph)
-    if args.json:
-        print(plan.to_json())
+    if args.chips == 1:
+        if args.json:
+            print(plan.to_json())
+            return 0
+        title = (
+            f"Inference plan: {plan.family.upper()} on {graph.name} "
+            f"({plan.num_layers} layers, {plan.in_features} -> {plan.out_features} features)"
+        )
+        print(format_table(plan.op_rows(), title=title))
         return 0
-    title = (
-        f"Inference plan: {plan.family.upper()} on {graph.name} "
-        f"({plan.num_layers} layers, {plan.in_features} -> {plan.out_features} features)"
+
+    from repro.scaleout import partition_workload
+
+    workload = partition_workload(graph, plan, args.chips)
+    partition = workload.partition
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "chips": args.chips,
+                    "method": partition.method,
+                    "part_sizes": [int(size) for size in partition.part_sizes()],
+                    "halo_vertices": [int(count) for count in partition.halo_counts],
+                    "cut_edges": int(partition.cut_edges),
+                    "imbalance": partition.imbalance(),
+                    "plans": [
+                        json.loads(chip_plan.to_json()) for chip_plan in workload.chip_plans
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    summary_rows = [
+        {
+            "chip": chip,
+            "vertices": int(partition.part_sizes()[chip]),
+            "halo_vertices": int(partition.halo_counts[chip]),
+        }
+        for chip in range(args.chips)
+    ]
+    print(
+        format_table(
+            summary_rows,
+            title=(
+                f"Partition: {graph.name} across {args.chips} chips "
+                f"({partition.method}, {partition.cut_edges} cut edges, "
+                f"imbalance {partition.imbalance():.2f})"
+            ),
+        )
     )
-    print(format_table(plan.op_rows(), title=title))
+    for chip, chip_plan in enumerate(workload.chip_plans):
+        print()
+        print(
+            format_table(
+                chip_plan.op_rows(),
+                title=f"Chip {chip} plan: {chip_plan.family.upper()} on {graph.name}",
+            )
+        )
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.chips < 1:
+        print("--chips must be >= 1", file=sys.stderr)
+        return 2
     graph, config = _load(args)
-    result = GNNIESimulator(config).run(graph, args.model)
+    if args.chips == 1:
+        result = GNNIESimulator(config).run(graph, args.model)
+        gnnie_label = "GNNIE"
+    else:
+        from repro.scaleout import execute_scaleout
+        from repro.sim import GNNIEExecutor
+
+        plan = lower(args.model, graph)
+        result = execute_scaleout(
+            GNNIEExecutor(config), plan, graph, config, chips=args.chips
+        )
+        gnnie_label = f"GNNIE x{args.chips}"
     platforms = [PyGCPUModel(), PyGGPUModel(), HyGCNModel(), AWBGCNModel(), EnGNModel()]
     rows = [
         {
-            "platform": "GNNIE",
+            "platform": gnnie_label,
             "supported": True,
             "latency_ms": round(result.latency_seconds * 1e3, 4),
             "speedup": 1.0,
@@ -603,11 +699,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             }
         )
     if args.json:
-        print(
-            json.dumps(
-                {"dataset": graph.name, "model": args.model.upper(), "rows": rows}, indent=2
-            )
-        )
+        report = {"dataset": graph.name, "model": args.model.upper(), "rows": rows}
+        if args.chips != 1:
+            report["chips"] = args.chips
+        print(json.dumps(report, indent=2))
         return 0
     table_rows = [
         {
@@ -721,6 +816,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         datasets = _split_axis(args.datasets, all_values=dataset_names(), axis="datasets")
         models = _split_axis(args.models, all_values=list(MODEL_FAMILIES), axis="models")
         backends = _split_axis(args.backends, all_values=executor_names(), axis="backends")
+        chips = [int(part) for part in args.chips.split(",") if part.strip()]
+        if not chips or any(count < 1 for count in chips):
+            raise ValueError("--chips must be a comma-separated list of integers >= 1")
         configs = (
             [design_preset(name) for name in args.designs.split(",") if name.strip()]
             if args.designs
@@ -748,7 +846,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 2
     matrix = ScenarioMatrix.build(
-        datasets, models, backends=backends, configs=configs, scale=args.scale, seed=args.seed
+        datasets,
+        models,
+        backends=backends,
+        configs=configs,
+        scale=args.scale,
+        seed=args.seed,
+        chips=chips,
     )
 
     tracer = metrics = None

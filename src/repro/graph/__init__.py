@@ -8,7 +8,14 @@ from repro.graph.generators import (
     power_law_degree_sequence,
     power_law_graph,
 )
-from repro.graph.partition import VertexSet, sequential_vertex_sets, vertices_per_buffer
+from repro.graph.partition import (
+    GraphPartition,
+    PARTITION_METHODS,
+    VertexSet,
+    partition_graph,
+    sequential_vertex_sets,
+    vertices_per_buffer,
+)
 from repro.graph.reorder import (
     ReorderResult,
     apply_vertex_permutation,
@@ -25,6 +32,9 @@ __all__ = [
     "erdos_renyi_graph",
     "power_law_degree_sequence",
     "VertexSet",
+    "GraphPartition",
+    "PARTITION_METHODS",
+    "partition_graph",
     "sequential_vertex_sets",
     "vertices_per_buffer",
     "ReorderResult",

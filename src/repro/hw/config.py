@@ -58,6 +58,16 @@ class AcceleratorConfig:
     dram_bandwidth_bytes_per_s: float = 256e9
     dram_energy_pj_per_bit: float = 3.97
 
+    # --- Inter-chip link (multi-chip scale-out) ------------------------- #
+    #: Chip-to-chip link bandwidth for halo-feature exchange when a graph is
+    #: partitioned across several GNNIE instances (``repro.scaleout``).  The
+    #: 64 GB/s default models a PCIe-5.0-x16-class serial link — a quarter of
+    #: HBM bandwidth, the usual package-escape penalty.
+    link_bandwidth_bytes_per_s: float = 64e9
+    #: Fixed per-layer link latency (synchronization + first-flit) in core
+    #: cycles, charged once per halo exchange regardless of volume.
+    link_latency_cycles: int = 500
+
     # --- Cache policy ----------------------------------------------------#
     gamma: int = 5
     cache_associativity: int = 4
@@ -112,6 +122,10 @@ class AcceleratorConfig:
                 "input_buffer_bytes must be positive (or None for the paper's "
                 "per-dataset auto sizing)"
             )
+        if self.link_bandwidth_bytes_per_s <= 0:
+            raise ValueError("link_bandwidth_bytes_per_s must be positive")
+        if self.link_latency_cycles < 0:
+            raise ValueError("link_latency_cycles must be non-negative")
         if self.victim_cache_entries <= 0 or self.miss_cache_entries <= 0:
             raise ValueError("victim/miss cache capacities must be positive")
         if self.stream_buffer_count <= 0 or self.stream_buffer_depth <= 0:
@@ -153,6 +167,10 @@ class AcceleratorConfig:
     @property
     def dram_bytes_per_cycle(self) -> float:
         return self.dram_bandwidth_bytes_per_s / self.frequency_hz
+
+    @property
+    def link_bytes_per_cycle(self) -> float:
+        return self.link_bandwidth_bytes_per_s / self.frequency_hz
 
     @property
     def peak_ops_per_second(self) -> float:

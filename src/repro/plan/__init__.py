@@ -29,6 +29,7 @@ from repro.plan.ir import (
     AggregationOp,
     AttentionOp,
     DenseMatmulOp,
+    HaloExchangeOp,
     InferencePlan,
     PhaseOp,
     PlanLayer,
@@ -52,6 +53,7 @@ __all__ = [
     "AttentionOp",
     "AggregationOp",
     "DenseMatmulOp",
+    "HaloExchangeOp",
     "SampleOp",
     "PreprocessOp",
     "PhaseOp",

@@ -29,6 +29,7 @@ __all__ = [
     "AttentionOp",
     "AggregationOp",
     "DenseMatmulOp",
+    "HaloExchangeOp",
     "SampleOp",
     "PreprocessOp",
     "PhaseOp",
@@ -162,6 +163,30 @@ class DenseMatmulOp:
 
 
 @dataclass(frozen=True)
+class HaloExchangeOp:
+    """Inter-chip boundary-feature exchange before one layer's aggregation.
+
+    Emitted only by the multi-chip lowering (``repro.scaleout``): a chip
+    owning a vertex partition must receive the features of its *halo* — the
+    distinct remote neighbors of its owned vertices — before aggregating.
+    ``halo_vertices`` counts those remote vertices for the chip this plan
+    belongs to; the traffic is ``halo_vertices * features`` values at the
+    layer's aggregation width, priced by the executor against the
+    link-bandwidth/latency model on :class:`~repro.hw.config.AcceleratorConfig`.
+    """
+
+    halo_vertices: int
+    features: int
+    chips: int
+
+    def describe(self) -> str:
+        return (
+            f"halo_exchange(halo={self.halo_vertices}, features={self.features}, "
+            f"chips={self.chips})"
+        )
+
+
+@dataclass(frozen=True)
 class SampleOp:
     """Neighbor sampling producing the ``sampled`` adjacency (GraphSAGE)."""
 
@@ -182,7 +207,13 @@ class PreprocessOp:
 
 
 PhaseOp = Union[
-    WeightingOp, AttentionOp, AggregationOp, DenseMatmulOp, SampleOp, PreprocessOp
+    WeightingOp,
+    AttentionOp,
+    AggregationOp,
+    DenseMatmulOp,
+    SampleOp,
+    PreprocessOp,
+    HaloExchangeOp,
 ]
 
 

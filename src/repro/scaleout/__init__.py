@@ -1,0 +1,15 @@
+"""Multi-chip scale-out: partition one inference across N simulated chips."""
+
+from repro.scaleout.engine import (
+    PartitionedWorkload,
+    chip_subgraphs,
+    execute_scaleout,
+    partition_workload,
+)
+
+__all__ = [
+    "PartitionedWorkload",
+    "chip_subgraphs",
+    "execute_scaleout",
+    "partition_workload",
+]

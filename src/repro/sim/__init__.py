@@ -17,7 +17,7 @@ from repro.sim.design_space import (
 from repro.sim.engine import LATER_LAYER_DENSITY, GNNIESimulator
 from repro.sim.gnnie_executor import GNNIEExecutor
 from repro.sim.trace import phase_table, result_to_dict, result_to_json, results_to_csv
-from repro.sim.results import InferenceResult, LayerResult, PhaseResult
+from repro.sim.results import InferenceResult, LayerResult, PhaseResult, ScaleOutResult
 from repro.sim.weighting_sim import simulate_weighting, weighting_phase_from_schedule
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "InferenceResult",
     "LayerResult",
     "PhaseResult",
+    "ScaleOutResult",
     "simulate_weighting",
     "weighting_phase_from_schedule",
     "simulate_aggregation",

@@ -88,6 +88,12 @@ class GraphPricingContext:
         #: sweep groups share the expensive run whenever they prime with the
         #: same width.
         self.cache_results: dict[tuple, object] = {}
+        #: (chips, method) -> partitioned multi-chip workload (see
+        #: :func:`repro.scaleout.partition_workload`).  Partitioning is a
+        #: pure function of graph content and the key, so a config batch
+        #: sweeping many designs at one chip count partitions the graph
+        #: exactly once.
+        self.partitions: dict[tuple, object] = {}
 
     @property
     def graph(self) -> Graph | None:
@@ -158,6 +164,20 @@ class GraphPricingContext:
 _CONTEXTS: dict[int, GraphPricingContext] = {}
 
 
+def _evict_context(key: int, context: GraphPricingContext) -> None:
+    """Finalizer target: drop ``context`` from the registry, and only it.
+
+    ``key`` is the dead graph's ``id()``, which a *new* graph may have
+    re-used (ids recycle after GC, and ``clear_pricing_contexts()`` plus a
+    fresh ``pricing_context()`` call can re-register the slot before the old
+    finalizer fires).  An unconditional ``pop(key)`` would then evict the
+    live graph's context and silently drop its shared memos, so the pop is
+    guarded on identity.
+    """
+    if _CONTEXTS.get(key) is context:
+        _CONTEXTS.pop(key, None)
+
+
 def pricing_context(graph: Graph) -> GraphPricingContext:
     """The shared :class:`GraphPricingContext` of a graph (created on demand)."""
     key = id(graph)
@@ -166,7 +186,7 @@ def pricing_context(graph: Graph) -> GraphPricingContext:
         return context
     context = GraphPricingContext(graph)
     _CONTEXTS[key] = context
-    weakref.finalize(graph, _CONTEXTS.pop, key, None)
+    weakref.finalize(graph, _evict_context, key, context)
     return context
 
 

@@ -49,6 +49,7 @@ from repro.plan.ir import (
     AggregationOp,
     AttentionOp,
     DenseMatmulOp,
+    HaloExchangeOp,
     InferencePlan,
     PlanLayer,
     PreprocessOp,
@@ -115,6 +116,11 @@ class GNNIEExecutor:
     """Executes inference plans on the GNNIE performance/energy model."""
 
     name = "gnnie"
+    #: This backend can price multi-chip plans (it handles
+    #: :class:`~repro.plan.ir.HaloExchangeOp` and carries a link model on its
+    #: config), so ``repro.scaleout`` and the sweep worker may partition
+    #: workloads across several instances of it.
+    supports_scaleout = True
 
     def __init__(
         self,
@@ -234,6 +240,7 @@ class GNNIEExecutor:
         weighting: PhaseResult | None = None
         attention: PhaseResult | None = None
         aggregation: PhaseResult | None = None
+        communication: PhaseResult | None = None
         tracer = self.tracer
         #: Per phase slot, the (span, pre-overlap busy cycles) of each op —
         #: the bookkeeping `_annotate_spans` needs to turn the post-overlap
@@ -287,6 +294,16 @@ class GNNIEExecutor:
                     phase = self._dense_matmul_phase(op, graph, cfg)
                 weighting = accumulate(weighting, phase)
                 note(span, "weighting", phase)
+            elif isinstance(op, HaloExchangeOp):
+                with tracer.span(
+                    "op:halo_exchange",
+                    category="op",
+                    layer=stage.index,
+                    halo_vertices=op.halo_vertices,
+                ) as span:
+                    phase = self._halo_exchange_phase(op, cfg)
+                communication = accumulate(communication, phase)
+                note(span, "communication", phase)
             else:
                 raise TypeError(f"GNNIE executor cannot handle op {op!r}")
         if weighting is None:
@@ -300,6 +317,7 @@ class GNNIEExecutor:
             weighting=weighting,
             attention=attention,
             aggregation=aggregation,
+            communication=communication,
         )
         return layer, slot_spans
 
@@ -401,6 +419,26 @@ class GNNIEExecutor:
         self._aggregation_memo[memo_key] = replace(phase)
         return phase
 
+    def _halo_exchange_phase(
+        self, op: HaloExchangeOp, cfg: AcceleratorConfig
+    ) -> PhaseResult:
+        """Inter-chip boundary-feature transfer before aggregation.
+
+        Cost model: one fixed link latency (synchronization + first flit)
+        plus the serialized halo payload — ``halo_vertices × features``
+        values at the configured width — over the chip-to-chip link
+        bandwidth.  A chip with an empty halo (nothing cut toward it) pays
+        nothing.  The traffic is link traffic, not DRAM traffic, so it is
+        deliberately absent from the DRAM/energy accounting.
+        """
+        if op.halo_vertices <= 0:
+            return PhaseResult(name="communication")
+        payload_bytes = op.halo_vertices * op.features * cfg.bytes_per_value
+        cycles = cfg.link_latency_cycles + int(
+            np.ceil(payload_bytes / cfg.link_bytes_per_cycle)
+        )
+        return PhaseResult(name="communication", compute_cycles=cycles)
+
     def _dense_matmul_phase(
         self, op: DenseMatmulOp, graph: Graph, cfg: AcceleratorConfig
     ) -> PhaseResult:
@@ -461,7 +499,8 @@ class GNNIEExecutor:
                 mac_operations=sum(p.mac_operations for p in layer.phases()),
                 dram_bytes=sum(p.dram_bytes for p in layer.phases()),
             )
-            spans = [entry for slot in ("weighting", "attention", "aggregation")
+            spans = [entry for slot in ("weighting", "attention", "aggregation",
+                                        "communication")
                      for entry in slots.get(slot, [])]
             assigned = 0
             for span, busy in spans:

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.hw.energy import EnergyBreakdown
 
-__all__ = ["PhaseResult", "LayerResult", "InferenceResult"]
+__all__ = ["PhaseResult", "LayerResult", "InferenceResult", "ScaleOutResult"]
 
 
 @dataclass
@@ -91,13 +91,30 @@ class LayerResult:
     weighting: PhaseResult
     attention: PhaseResult | None
     aggregation: PhaseResult
+    #: Inter-chip halo-exchange cost of this layer (multi-chip scale-out
+    #: only; ``None`` on a single chip).  Included in :attr:`total_cycles`
+    #: but *not* in :meth:`phases` — the memory-overlap pass and the energy
+    #: model reason about on-chip phases only, so a chip's internal
+    #: accounting is byte-identical with or without a communication slot.
+    communication: PhaseResult | None = None
 
     @property
     def total_cycles(self) -> int:
         cycles = self.weighting.total_cycles + self.aggregation.total_cycles
         if self.attention is not None:
             cycles += self.attention.total_cycles
+        if self.communication is not None:
+            cycles += self.communication.total_cycles
         return cycles
+
+    @property
+    def communication_cycles(self) -> int:
+        return self.communication.total_cycles if self.communication is not None else 0
+
+    @property
+    def local_cycles(self) -> int:
+        """On-chip cycles of this layer, excluding inter-chip communication."""
+        return self.total_cycles - self.communication_cycles
 
     def phases(self) -> list[PhaseResult]:
         if self.attention is None:
@@ -182,3 +199,81 @@ class InferenceResult:
             "energy_j": self.energy_joules,
             "inferences_per_kj": self.inferences_per_kilojoule,
         }
+
+
+@dataclass
+class ScaleOutResult(InferenceResult):
+    """Combined outcome of one inference partitioned across ``num_chips`` chips.
+
+    Per-layer time is ``MAX(per-chip local cycles) + MAX(per-chip halo
+    communication cycles)`` — the chips compute in parallel, then synchronize
+    on the slowest halo exchange before the next layer.  Aggregate counters
+    (MACs, DRAM traffic, energy) are *sums* over chips; the stored
+    ``combined_*`` fields carry the pre-combined totals so the inherited
+    properties (and therefore :meth:`summary`) report fleet-level numbers
+    without per-chip ``layers`` being retained.
+    """
+
+    num_chips: int = 1
+    partition_method: str = "chunk"
+    #: Per-chip total cycles (local + that chip's communication), for
+    #: imbalance reporting.
+    chip_cycles: tuple[int, ...] = ()
+    #: Per-chip on-chip compute cycles (communication excluded).  The
+    #: scaling benchmark pins ``max(chip_local_cycles)`` monotonically
+    #: non-increasing in the chip count: partitions only shrink, while the
+    #: halo wait in :attr:`chip_cycles` grows with the cut.
+    chip_local_cycles: tuple[int, ...] = ()
+    #: Sum over chips of distinct remote vertices received per layer stack.
+    halo_vertices: int = 0
+    #: Total inter-chip traffic in bytes across all layers and chips.
+    halo_bytes: int = 0
+    combined_cycles: int = 0
+    combined_communication_cycles: int = 0
+    combined_macs: int = 0
+    combined_dram_bytes: int = 0
+    combined_weighting_cycles: int = 0
+    combined_aggregation_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.combined_cycles
+
+    @property
+    def total_mac_operations(self) -> int:
+        return self.combined_macs
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return self.combined_dram_bytes
+
+    @property
+    def weighting_cycles(self) -> int:
+        return self.combined_weighting_cycles
+
+    @property
+    def aggregation_cycles(self) -> int:
+        return self.combined_aggregation_cycles
+
+    @property
+    def communication_cycles(self) -> int:
+        return self.combined_communication_cycles
+
+    @property
+    def chip_imbalance(self) -> float:
+        """``max(chip cycles) / mean(chip cycles)`` — 1.0 is a perfect split."""
+        busy = [cycles for cycles in self.chip_cycles if cycles > 0]
+        if not busy:
+            return 1.0
+        return max(busy) * len(busy) / sum(busy)
+
+    def summary(self) -> dict[str, float]:
+        row = super().summary()
+        if self.num_chips > 1:
+            row["chips"] = self.num_chips
+            row["partition_method"] = self.partition_method
+            row["chip_imbalance"] = self.chip_imbalance
+            row["communication_cycles"] = self.communication_cycles
+            row["halo_vertices"] = self.halo_vertices
+            row["halo_bytes"] = self.halo_bytes
+        return row

@@ -82,12 +82,28 @@ def csv_fieldnames() -> list[str]:
 
 
 def results_to_csv(results: Iterable[InferenceResult]) -> str:
-    """One CSV row per inference (summary-level fields only)."""
+    """One CSV row per inference (summary-level fields only).
+
+    The column set is the base :func:`csv_fieldnames` order plus any extra
+    summary keys the given results carry (multi-chip
+    :class:`~repro.sim.results.ScaleOutResult` rows add ``chips`` /
+    ``halo_*`` columns), appended in first-seen order.  Plain results
+    produce exactly the pre-scale-out bytes; ``DictWriter`` would otherwise
+    raise ``ValueError`` on the extra keys.
+    """
+    summaries = [result.summary() for result in results]
+    fieldnames = csv_fieldnames()
+    known = set(fieldnames)
+    for summary in summaries:
+        for key in summary:
+            if key not in known:
+                fieldnames.append(key)
+                known.add(key)
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=csv_fieldnames())
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
     writer.writeheader()
-    for result in results:
-        writer.writerow(result.summary())
+    for summary in summaries:
+        writer.writerow(summary)
     return buffer.getvalue()
 
 

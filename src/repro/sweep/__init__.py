@@ -50,6 +50,7 @@ from repro.sweep.worker import (
     COMPATIBLE_ROW_FORMATS,
     FAILED_ROW_FORMAT,
     ROW_FORMAT,
+    SCALEOUT_ROW_FORMAT,
     failed_row,
     prime_graph_memo,
     run_batch_timed,
@@ -74,6 +75,7 @@ __all__ = [
     "DatasetCase",
     "FAILED_ROW_FORMAT",
     "ROW_FORMAT",
+    "SCALEOUT_ROW_FORMAT",
     "ResultStore",
     "RetryPolicy",
     "ScenarioMatrix",

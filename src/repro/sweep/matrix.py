@@ -73,14 +73,31 @@ def _config_dict(config: AcceleratorConfig) -> dict:
     return asdict(config)
 
 
+#: Config fields newer than the last ROW_FORMAT bump, omitted from the
+#: serialized form while they hold their defaults: a default-valued config
+#: keeps its exact pre-scale-out JSON (and therefore every existing cell key
+#: and row byte), while a cell that actually varies the link model hashes
+#: differently — which is correct, it prices differently.
+#: :func:`config_from_dict` restores omitted fields via dataclass defaults.
+_DEFAULT_ELIDED_FIELDS = {
+    name: AcceleratorConfig.__dataclass_fields__[name].default
+    for name in ("link_bandwidth_bytes_per_s", "link_latency_cycles")
+}
+
+
 def config_to_dict(config: AcceleratorConfig) -> dict:
     """JSON-serializable mapping of every configuration field.
 
     Returns a fresh top-level dict per call (values are immutable
     scalars/tuples), so callers may add or drop keys without corrupting the
-    memo.
+    memo.  Fields listed in :data:`_DEFAULT_ELIDED_FIELDS` are omitted while
+    default-valued (byte-stability of pre-existing cell keys).
     """
-    return dict(_config_dict(config))
+    data = dict(_config_dict(config))
+    for name, default in _DEFAULT_ELIDED_FIELDS.items():
+        if data.get(name) == default:
+            del data[name]
+    return data
 
 
 def config_from_dict(data: dict) -> AcceleratorConfig:
@@ -122,10 +139,14 @@ class SweepCell:
     family: str
     backend: str
     config: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    #: Number of simulated chips the workload is partitioned across
+    #: (``repro.scaleout``).  The single-chip default is omitted from the
+    #: spec so pre-scale-out cell keys are unchanged.
+    chips: int = 1
 
     def spec(self) -> dict:
         """Canonical JSON-serializable description (hashed by :meth:`key`)."""
-        return {
+        spec = {
             "dataset": self.dataset,
             "scale": self.scale,
             "seed": self.seed,
@@ -133,6 +154,9 @@ class SweepCell:
             "backend": self.backend,
             "config": config_to_dict(self.config),
         }
+        if self.chips != 1:
+            spec["chips"] = self.chips
+        return spec
 
     def key(self) -> str:
         """Content hash identifying this cell in the result store.
@@ -149,7 +173,8 @@ class SweepCell:
         return cached
 
     def describe(self) -> str:
-        return f"{self.dataset}/{self.family}/{self.backend}[{self.config.name}]"
+        suffix = f" x{self.chips}" if self.chips != 1 else ""
+        return f"{self.dataset}/{self.family}/{self.backend}[{self.config.name}]{suffix}"
 
 
 @dataclass(frozen=True)
@@ -171,6 +196,11 @@ class ScenarioMatrix:
     configs: tuple[AcceleratorConfig, ...] = (AcceleratorConfig(),)
     seed: int = 0
     config_backends: tuple[str, ...] | None = ("gnnie",)
+    #: Chip-count axis (``repro.scaleout``).  Gated exactly like the
+    #: configuration axis: only the ``config_backends`` backends (the ones
+    #: whose cost model can price multi-chip plans) are crossed with it;
+    #: every other backend is swept single-chip.
+    chips: tuple[int, ...] = (1,)
 
     @classmethod
     def build(
@@ -183,6 +213,7 @@ class ScenarioMatrix:
         scale: float | None = None,
         seed: int = 0,
         config_backends: Iterable[str] | None = ("gnnie",),
+        chips: Iterable[int] = (1,),
     ) -> "ScenarioMatrix":
         """Normalize axis inputs (names become :class:`DatasetCase` entries).
 
@@ -206,6 +237,7 @@ class ScenarioMatrix:
                 if config_backends is not None
                 else None
             ),
+            chips=tuple(int(count) for count in chips),
         )
 
     def _configs_for(self, backend: str) -> tuple[AcceleratorConfig, ...]:
@@ -213,28 +245,38 @@ class ScenarioMatrix:
             return self.configs
         return self.configs[:1]
 
+    def _chips_for(self, backend: str) -> tuple[int, ...]:
+        if self.config_backends is None or backend in self.config_backends:
+            return self.chips
+        return (1,)
+
     def cells(self) -> list[SweepCell]:
-        """Axis-major expansion (dataset, family, backend, config)."""
+        """Axis-major expansion (dataset, family, backend, config, chips)."""
         expanded: list[SweepCell] = []
         for case in self.datasets:
             seed = case.seed if case.seed is not None else derive_seed(self.seed, case.name)
             for family in self.families:
                 for backend in self.backends:
                     for config in self._configs_for(backend):
-                        expanded.append(
-                            SweepCell(
-                                dataset=case.name,
-                                scale=case.scale,
-                                seed=seed,
-                                family=family,
-                                backend=backend,
-                                config=config,
+                        for chips in self._chips_for(backend):
+                            expanded.append(
+                                SweepCell(
+                                    dataset=case.name,
+                                    scale=case.scale,
+                                    seed=seed,
+                                    family=family,
+                                    backend=backend,
+                                    config=config,
+                                    chips=chips,
+                                )
                             )
-                        )
         return expanded
 
     def __len__(self) -> int:
-        cells_per_pair = sum(len(self._configs_for(backend)) for backend in self.backends)
+        cells_per_pair = sum(
+            len(self._configs_for(backend)) * len(self._chips_for(backend))
+            for backend in self.backends
+        )
         return len(self.datasets) * len(self.families) * cells_per_pair
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "COMPATIBLE_ROW_FORMATS",
     "FAILED_ROW_FORMAT",
     "ROW_FORMAT",
+    "SCALEOUT_ROW_FORMAT",
     "failed_row",
     "prime_graph_memo",
     "run_batch_timed",
@@ -61,8 +62,16 @@ ROW_FORMAT = 2
 #: both resume interchangeably (:data:`COMPATIBLE_ROW_FORMATS`).
 FAILED_ROW_FORMAT = 3
 
+#: Schema version stamped into multi-chip (``chips > 1``) rows only — the
+#: format that introduced the ``chips`` row key and the scale-out metrics
+#: (``chip_imbalance``, ``communication_cycles``, ``halo_*``).  Single-chip
+#: rows keep :data:`ROW_FORMAT` and their exact pre-scale-out bytes; cell
+#: keys are disjoint (``chips`` is hashed into multi-chip keys), so all
+#: three formats resume interchangeably.
+SCALEOUT_ROW_FORMAT = 4
+
 #: Row formats the current runner can resume from.
-COMPATIBLE_ROW_FORMATS = frozenset({ROW_FORMAT, FAILED_ROW_FORMAT})
+COMPATIBLE_ROW_FORMATS = frozenset({ROW_FORMAT, FAILED_ROW_FORMAT, SCALEOUT_ROW_FORMAT})
 
 #: Per-process dataset memo: (dataset, scale, seed) -> Graph.  Bounded so
 #: the jobs=1 path (which runs in the caller's process and lives as long as
@@ -125,7 +134,7 @@ def _abbreviation_for(cell: SweepCell, graph: "Graph | None") -> str:
 
 def _base_row(cell: SweepCell, abbreviation: str) -> dict:
     """The row skeleton shared by the scalar and batch paths."""
-    return {
+    row = {
         "row_format": ROW_FORMAT,
         "key": cell.key(),
         "dataset": cell.dataset,
@@ -139,6 +148,12 @@ def _base_row(cell: SweepCell, abbreviation: str) -> dict:
         "supported": True,
         "metrics": None,
     }
+    # Multi-chip rows carry the chips axis and the scale-out schema stamp;
+    # single-chip rows keep their exact pre-scale-out bytes.
+    if cell.chips != 1:
+        row["row_format"] = SCALEOUT_ROW_FORMAT
+        row["chips"] = cell.chips
+    return row
 
 
 def _trip_cell_fault(cell: SweepCell, attempt: int) -> None:
@@ -195,6 +210,17 @@ def _result_metrics(cell: SweepCell, backend, result) -> dict:
             total_macs=int(cell.config.total_macs),
             area_mm2=float(backend.chip_area_mm2(cell.config)),
         )
+    num_chips = int(getattr(result, "num_chips", 1))
+    if num_chips > 1:
+        metrics.update(
+            chips=num_chips,
+            chip_imbalance=float(result.chip_imbalance),
+            communication_cycles=int(result.communication_cycles),
+            halo_vertices=int(result.halo_vertices),
+            halo_bytes=int(result.halo_bytes),
+            # Fleet silicon: N chips' worth of area.
+            area_mm2=float(backend.chip_area_mm2(cell.config)) * num_chips,
+        )
     return metrics
 
 
@@ -235,11 +261,19 @@ def run_cell(
     if supports is not None and not supports(cell.family):
         row["supported"] = False
         return row
+    if cell.chips != 1 and not getattr(backend, "supports_scaleout", False):
+        row["supported"] = False
+        return row
 
     if graph is None:
         graph = _graph_for(cell)
     plan = lower(cell.family, graph)
-    result = backend.execute(plan, graph, cell.config)
+    if cell.chips == 1:
+        result = backend.execute(plan, graph, cell.config)
+    else:
+        from repro.scaleout import execute_scaleout
+
+        result = execute_scaleout(backend, plan, graph, cell.config, chips=cell.chips)
     row["metrics"] = _result_metrics(cell, backend, result)
     return row
 
@@ -307,10 +341,20 @@ def _run_group_cell(
     if supports is not None and not supports(cell.family):
         row["supported"] = False
         return row
+    if cell.chips != 1 and not getattr(backend, "supports_scaleout", False):
+        row["supported"] = False
+        return row
 
     graph = group.graph(cell)
     plan = group.plan(cell)
-    if getattr(backend, "uses_shared_workload", False):
+    if cell.chips != 1:
+        from repro.scaleout import execute_scaleout
+
+        # The group's graph keeps its identity across the batch, so the
+        # partition (and every chip subgraph's pricing context) is shared
+        # through GraphPricingContext.partitions.
+        result = execute_scaleout(backend, plan, graph, cell.config, chips=cell.chips)
+    elif getattr(backend, "uses_shared_workload", False):
         result = backend.execute(plan, graph, cell.config, workload=group.workload(cell))
     else:
         result = backend.execute(plan, graph, cell.config)

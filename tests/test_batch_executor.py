@@ -163,6 +163,34 @@ class TestCacheSimSharing:
         other = build_dataset("cora", scale=0.1, seed=10)
         assert pricing_context(other) is not context
 
+    def test_stale_finalizer_cannot_evict_an_id_aliased_live_context(self):
+        """A dead graph's finalizer must not drop a live graph's context.
+
+        Regression test: ``id()`` values recycle after GC, so the finalizer
+        of a collected graph can fire with a key that a *new* graph has
+        since re-registered.  The old unconditional ``_CONTEXTS.pop(key)``
+        evicted the live context (silently dropping its shared memos); the
+        pop is now guarded on context identity.
+        """
+        from repro.datasets import build_dataset
+        from repro.sim.batch import _CONTEXTS, _evict_context, GraphPricingContext
+
+        graph = build_dataset("cora", scale=0.1, seed=9)
+        live = pricing_context(graph)
+        key = id(graph)
+        assert _CONTEXTS[key] is live
+
+        # A finalizer of a *dead* graph firing late with the same (recycled)
+        # id must leave the live registration alone...
+        stale = GraphPricingContext(graph)
+        _evict_context(key, stale)
+        assert _CONTEXTS.get(key) is live
+        assert pricing_context(graph) is live
+
+        # ...while the matching context still evicts cleanly.
+        _evict_context(key, live)
+        assert key not in _CONTEXTS
+
 
 class TestBatchObservability:
     def test_progress_fires_once_per_cell_under_batch(self):

@@ -508,6 +508,67 @@ class TestStoreBackedAggregation:
         assert set(geomeans) == {"awb-gcn"}
         assert geomeans["awb-gcn"]["cells"] == 1
 
+    def test_speedup_rows_pair_within_scale(self):
+        """Baselines must pair with the GNNIE reference of their own scale.
+
+        Regression test: the reference dict was keyed by (dataset, family,
+        config) only, so a store holding two scales of one dataset paired
+        every baseline row against whichever scale's GNNIE row loaded last.
+        """
+        matrix = ScenarioMatrix(
+            datasets=(
+                DatasetCase("cora", scale=0.05, seed=0),
+                DatasetCase("cora", scale=0.1, seed=0),
+            ),
+            families=("gcn",),
+            backends=("gnnie", "engn"),
+        )
+        rows = run_sweep(matrix, jobs=1).rows
+        gnnie = {row["scale"]: row for row in rows if row["backend"] == "gnnie"}
+        baseline = {row["scale"]: row for row in rows if row["backend"] == "engn"}
+        assert len(gnnie) == len(baseline) == 2
+        entries = {entry["scale"]: entry for entry in speedup_rows(rows)}
+        assert set(entries) == {0.05, 0.1}
+        for scale, entry in entries.items():
+            expected = (
+                baseline[scale]["metrics"]["latency_seconds"]
+                / gnnie[scale]["metrics"]["latency_seconds"]
+            )
+            assert entry["speedup"] == pytest.approx(expected)
+        # The two scales produce genuinely different ratios, so a cross-scale
+        # pairing could not have passed by accident.
+        assert entries[0.05]["speedup"] != pytest.approx(entries[0.1]["speedup"])
+
+    def test_failed_rows_are_excluded_but_surfaced(self, small_summary):
+        from repro.analysis import geomean_table_rows
+        from repro.sweep import failed_row
+
+        rows = list(small_summary.rows)
+        healthy = speedup_rows(rows)
+        # Fail one baseline cell and one GNNIE reference cell.
+        cells = ScenarioMatrix.build(
+            ["cora"], ["gcn", "gat"], backends=["gnnie", "awb-gcn"], scale=0.1, seed=0
+        ).cells()
+        awb = next(c for c in cells if c.backend == "awb-gcn" and c.family == "gcn")
+        gnnie_gat = next(c for c in cells if c.backend == "gnnie" and c.family == "gat")
+        mixed = rows + [
+            failed_row(awb, RuntimeError("boom"), attempts=2),
+            failed_row(gnnie_gat, RuntimeError("boom"), attempts=1),
+        ]
+        # Failed rows never pair: entries are unchanged next to failures.
+        assert speedup_rows(mixed) == healthy
+        geomeans = backend_geomeans(mixed)
+        assert geomeans["awb-gcn"]["failed"] == 1
+        assert geomeans["gnnie"]["failed"] == 1
+        assert geomeans["gnnie"]["cells"] == 0  # reference backend never pairs
+        assert geomeans["awb-gcn"]["cells"] == 1
+        table = {row["backend"]: row for row in geomean_table_rows(mixed)}
+        assert table["gnnie"]["failed"] == 1
+        # A failed-only backend still shows up with zeroed stats.
+        assert table["gnnie"]["gnnie_geomean_speedup"] == 0.0
+        # Failed GNNIE rows also stay out of the design-point rebuild.
+        assert len(design_points_from_rows(mixed)) == len(design_points_from_rows(rows))
+
 
 class TestSweepCLI:
     def test_parser_defaults(self):
