@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.baselines.workload import WorkloadEstimate, workload_from_plan
+from repro.check.verifier import verify_plan
 from repro.graph.graph import Graph
 from repro.obs.tracer import NULL_TRACER
 from repro.plan.ir import InferencePlan
@@ -94,6 +95,7 @@ class PlatformModel(ABC):
         it is a pure function of (plan, graph), so sharing it cannot change
         the priced result.
         """
+        verify_plan(plan)
         del config
         with self.tracer.span(
             f"platform:{self.name}",

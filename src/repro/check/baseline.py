@@ -1,0 +1,67 @@
+"""Committed findings baseline for the `repro check` CI gate.
+
+A baseline lets the gate turn on green the moment it lands: known
+findings are committed as a sorted, canonical JSON list and only *new*
+findings fail the build.  This repo's baseline
+(``repro-check-baseline.json``) is burned down to an empty list within
+the PR that introduces it — the file stays committed so CI can assert it
+*remains* empty.
+
+Findings match baseline entries by ``(path, rule, line)``; the message is
+recorded for humans but ignored for matching so rewording a diagnostic
+does not resurrect a baselined finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.check.lint import Finding
+
+__all__ = ["filter_findings", "load_baseline", "write_baseline"]
+
+BaselineKey = tuple[str, str, int]
+
+
+def load_baseline(path: str | Path) -> set[BaselineKey]:
+    """Load the baseline as a set of ``(path, rule, line)`` keys.
+
+    A missing file is an empty baseline (the gate runs everywhere, even
+    before a baseline is first committed).
+    """
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return set()
+    entries = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {baseline_path} must be a JSON list, got {type(entries).__name__}")
+    keys: set[BaselineKey] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline entry must be an object, got {entry!r}")
+        keys.add((str(entry["path"]), str(entry["rule"]), int(entry["line"])))
+    return keys
+
+
+def filter_findings(
+    findings: Iterable[Finding], baseline: set[BaselineKey]
+) -> list[Finding]:
+    """The findings not covered by ``baseline`` (i.e. the ones that fail CI)."""
+    return [finding for finding in findings if finding.key() not in baseline]
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> None:
+    """Write a canonical baseline file: sorted entries, sorted keys, LF rows.
+
+    Canonical form keeps the committed file byte-deterministic — the same
+    findings always serialize to the same bytes, so `--update-baseline`
+    runs are diffable.
+    """
+    entries = [
+        finding.to_dict()
+        for finding in sorted(findings, key=lambda finding: finding.key())
+    ]
+    payload = json.dumps(entries, indent=2, sort_keys=True) + "\n"
+    Path(path).write_text(payload, encoding="utf-8")

@@ -194,8 +194,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition across N simulated chips and show each chip's plan "
         "with its spliced halo-exchange ops (default: 1, the plain plan)",
     )
+    plan_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the plan (and every chip plan with --chips > 1) against "
+        "the repro.check verifier rules before printing",
+    )
     plan_parser.add_argument("--json", action="store_true", help="emit the plan as JSON")
     plan_parser.set_defaults(handler=_cmd_plan)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="static analysis: determinism linter over src/repro plus plan "
+        "verification across every registered family x dataset",
+    )
+    check_parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run only the determinism linter (default: linter + plans)",
+    )
+    check_parser.add_argument(
+        "--plans",
+        action="store_true",
+        help="run only plan verification (default: linter + plans)",
+    )
+    check_parser.add_argument(
+        "--paths",
+        nargs="+",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    check_parser.add_argument(
+        "--baseline",
+        default="repro-check-baseline.json",
+        help="committed findings baseline; only findings not in it fail "
+        "(default: repro-check-baseline.json)",
+    )
+    check_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file to contain exactly the current findings",
+    )
+    check_parser.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    check_parser.set_defaults(handler=_cmd_check)
 
     compare_parser = subparsers.add_parser("compare", help="compare against baseline platforms")
     _add_workload_arguments(compare_parser)
@@ -584,12 +627,30 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_plans(plans: "list[tuple[str, object]]") -> int:
+    """Verify labeled plans, printing violations; 0 when all are clean."""
+    from repro.check import plan_violations
+
+    failures = 0
+    for label, plan in plans:
+        violations = plan_violations(plan)  # type: ignore[arg-type]
+        if violations:
+            failures += 1
+            for violation in violations:
+                print(f"{label}: {violation.describe()}", file=sys.stderr)
+    return failures
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     if args.chips < 1:
         print("--chips must be >= 1", file=sys.stderr)
         return 2
     graph, _ = _load(args)
     plan = lower(args.model, graph)
+    if args.check and args.chips == 1:
+        if _check_plans([(f"{args.model}/{graph.name}", plan)]):
+            return 1
+        print(f"plan verified clean: {args.model} on {graph.name}", file=sys.stderr)
     if args.chips == 1:
         if args.json:
             print(plan.to_json())
@@ -605,6 +666,18 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
     workload = partition_workload(graph, plan, args.chips)
     partition = workload.partition
+    if args.check:
+        labeled = [(f"{args.model}/{graph.name}", plan)] + [
+            (f"{args.model}/{graph.name}/chip{chip}", chip_plan)
+            for chip, chip_plan in enumerate(workload.chip_plans)
+        ]
+        if _check_plans(labeled):
+            return 1
+        print(
+            f"plan verified clean: {args.model} on {graph.name} "
+            f"(+{len(workload.chip_plans)} chip plans)",
+            file=sys.stderr,
+        )
     if args.json:
         print(
             json.dumps(
@@ -649,6 +722,72 @@ def _cmd_plan(args: argparse.Namespace) -> int:
                 title=f"Chip {chip} plan: {chip_plan.family.upper()} on {graph.name}",
             )
         )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import (
+        filter_findings,
+        lint_paths,
+        load_baseline,
+        verify_registered_plans,
+        write_baseline,
+    )
+
+    run_lint = args.lint or not args.plans
+    run_plans = args.plans or not args.lint
+
+    findings = lint_paths(args.paths, root=".") if run_lint else []
+    baseline = load_baseline(args.baseline) if run_lint else set()
+    new_findings = filter_findings(findings, baseline)
+    if run_lint and args.update_baseline:
+        write_baseline(findings, args.baseline)
+        new_findings = []
+
+    plan_rows = verify_registered_plans() if run_plans else []
+    bad_plans = [row for row in plan_rows if not row["ok"]]
+
+    ok = not new_findings and not bad_plans
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "ok": ok,
+                    "lint": {
+                        "findings": [finding.to_dict() for finding in findings],
+                        "baselined": len(findings) - len(new_findings),
+                        "new": [finding.to_dict() for finding in new_findings],
+                    }
+                    if run_lint
+                    else None,
+                    "plans": plan_rows if run_plans else None,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if ok else 1
+
+    if run_lint:
+        for finding in findings:
+            marker = "" if finding.key() not in baseline else " (baselined)"
+            print(f"{finding.describe()}{marker}")
+        print(
+            f"lint: {len(findings)} finding(s), "
+            f"{len(new_findings)} not in baseline"
+        )
+    if run_plans:
+        for row in bad_plans:
+            for violation in row["violations"]:
+                print(f"{row['family']}/{row['dataset']}: {violation}", file=sys.stderr)
+        print(
+            f"plans: {len(plan_rows)} family x dataset pair(s) verified, "
+            f"{len(bad_plans)} with violations"
+        )
+    if not ok:
+        print("repro check: FAILED", file=sys.stderr)
+        return 1
+    print("repro check: ok")
     return 0
 
 

@@ -115,7 +115,7 @@ class Tracer:
         self._next_id = 1
         self._pid = os.getpid()
         #: Offset converting ``perf_counter`` readings to Unix-epoch seconds.
-        self._epoch_offset = time.time() - time.perf_counter()
+        self._epoch_offset = time.time() - time.perf_counter()  # repro-check: disable=D102 (display-only epoch anchor)
 
     # ------------------------------------------------------------------ #
     # Span lifecycle

@@ -11,6 +11,10 @@ The package splits *what a GNN computes* from *what it costs on a platform*:
 * :mod:`repro.plan.executor` — the :class:`Executor` protocol and the
   backend registry (GNNIE plus the baseline platforms register here).
 
+Plans handed to any registered executor are structurally verified first by
+:mod:`repro.check.verifier` (memoized per plan content; ``REPRO_NO_VERIFY=1``
+disables) — see the "Static analysis" section of the README for the rules.
+
 Adding a sixth GNN family means registering one lowering rule; adding a new
 cost model means registering one executor.  Neither requires touching the
 simulation engine.

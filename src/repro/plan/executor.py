@@ -15,6 +15,7 @@ way to obtain one by name::
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Protocol, runtime_checkable
 
 __all__ = ["Executor", "register_executor", "executor", "executor_names"]
@@ -43,8 +44,22 @@ _FACTORIES: dict[str, Callable[[], Executor]] = {}
 
 
 def register_executor(name: str, factory: Callable[[], Executor]) -> None:
-    """Register an executor factory under a backend name."""
-    _FACTORIES[name.strip().lower()] = factory
+    """Register an executor factory under a backend name.
+
+    Re-registering a name with a *different* factory warns (the latest
+    registration wins) — silently clobbering an earlier backend was a
+    foot-gun that could swap every sweep row's executor without a trace.
+    Re-registering the identical factory (module reloads) stays silent.
+    """
+    key = name.strip().lower()
+    existing = _FACTORIES.get(key)
+    if existing is not None and existing is not factory:
+        warnings.warn(
+            f"executor {key!r} is already registered; replacing the earlier factory",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    _FACTORIES[key] = factory
 
 
 def _ensure_builtin_executors() -> None:

@@ -13,6 +13,12 @@ Every op is a frozen dataclass carrying only backend-neutral quantities:
 feature widths, modeled densities, adjacency handles and structural flags.
 Cost-model specifics (cycle counts, cache behaviour, roofline constants)
 belong to executors.
+
+Being frozen also makes every op — and whole plans — hashable by content,
+which is what lets :func:`repro.check.verifier.verify_plan` memoize one
+rule pass per distinct plan no matter how many configs price it.  The
+structural invariants ops must satisfy (op ordering, width flow, sign and
+finiteness of every quantity) are enforced by that verifier, not here.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ Registering a new family is one decorated function::
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable
 
 from repro.plan.ir import InferencePlan
@@ -40,11 +41,25 @@ _RULES: dict[str, LoweringRule] = {}
 
 
 def register_lowering(family: str) -> Callable[[LoweringRule], LoweringRule]:
-    """Decorator registering a lowering rule for ``family``."""
+    """Decorator registering a lowering rule for ``family``.
+
+    Re-registering a family with a *different* rule warns (the latest
+    registration wins) — silently clobbering an earlier rule changed what
+    every executor priced for that family without a trace.  Re-applying
+    the identical rule (module reloads) stays silent.
+    """
 
     key = family.strip().lower()
 
     def decorator(rule: LoweringRule) -> LoweringRule:
+        existing = _RULES.get(key)
+        if existing is not None and existing is not rule:
+            warnings.warn(
+                f"lowering for family {key!r} is already registered; "
+                "replacing the earlier rule",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         _RULES[key] = rule
         return rule
 

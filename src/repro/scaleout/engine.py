@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.check.verifier import verify_plan
 from repro.graph.graph import Graph
 from repro.graph.partition import GraphPartition, partition_graph
 from repro.hw.config import AcceleratorConfig
@@ -188,6 +189,9 @@ def execute_scaleout(
     """
     if chips == 1:
         return backend.execute(plan, graph, config)
+    # Verify the parent plan before splicing halo ops; each chip plan is
+    # then verified (memoized) by the backend's own execute.
+    verify_plan(plan)
     if not getattr(backend, "supports_scaleout", False):
         raise ValueError(
             f"backend {getattr(backend, 'name', backend)!r} does not support "

@@ -101,7 +101,7 @@ class GraphPricingContext:
 
     def fingerprint(self, adjacency: CSRGraph) -> tuple[int, int, int]:
         """Memoized O(E) content fingerprint of an adjacency."""
-        key = id(adjacency)
+        key = id(adjacency)  # repro-check: disable=D103 (identity-guarded below)
         entry = self._fingerprints.get(key)
         if entry is None or entry[0] is not adjacency:
             entry = (adjacency, adjacency_fingerprint(adjacency))
@@ -146,7 +146,7 @@ class GraphPricingContext:
         """Shared undirected edge index for the degree-aware cache policy."""
         from repro.cache.controller import UndirectedEdgeIndex
 
-        key = id(adjacency)
+        key = id(adjacency)  # repro-check: disable=D103 (identity-guarded below)
         entry = self._edge_indexes.get(key)
         if entry is None or entry[0] is not adjacency:
             entry = (adjacency, UndirectedEdgeIndex(adjacency))
@@ -180,7 +180,7 @@ def _evict_context(key: int, context: GraphPricingContext) -> None:
 
 def pricing_context(graph: Graph) -> GraphPricingContext:
     """The shared :class:`GraphPricingContext` of a graph (created on demand)."""
-    key = id(graph)
+    key = id(graph)  # repro-check: disable=D103 (weakref.finalize evicts before reuse)
     context = _CONTEXTS.get(key)
     if context is not None and context.graph is graph:
         return context

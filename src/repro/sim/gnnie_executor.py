@@ -42,6 +42,7 @@ from repro.mapping.attention import schedule_attention
 from repro.mapping.weighting import schedule_weighting
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.check.verifier import verify_plan
 from repro.plan.executor import register_executor
 from repro.plan.ir import (
     HIDDEN_DENSITY,
@@ -155,6 +156,10 @@ class GNNIEExecutor:
         config: AcceleratorConfig | None = None,
     ) -> InferenceResult:
         """Run one lowered inference on one dataset graph."""
+        # Structural verification before any pricing; memoized per plan
+        # content, so batch/sweep reruns cost one dict lookup
+        # (REPRO_NO_VERIFY=1 disables).
+        verify_plan(plan)
         # Auto-sizing sentinel only: an explicit input_buffer_bytes override
         # (e.g. a buffer-sweep cell) is simulated at the capacity it names.
         cfg = (config or self.config).resolve_input_buffer(graph.name)

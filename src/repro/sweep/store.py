@@ -34,7 +34,10 @@ import warnings
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "CHECKSUM_FIELD",
@@ -167,7 +170,7 @@ class ResultStore:
         path: str | os.PathLike | None = None,
         *,
         resume: bool = True,
-        metrics=None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         from repro.obs.metrics import NULL_METRICS
 

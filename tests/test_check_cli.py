@@ -1,0 +1,99 @@
+"""The `repro check` CLI and `repro plan --check` surface.
+
+`repro check` is the CI gate: exit 0 on a clean repo with an empty
+baseline, exit 1 the moment a finding escapes the baseline or a lowered
+plan stops verifying.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestCheckCommand:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "repro check: ok" in out
+        assert "25 family x dataset pair(s) verified" in out
+
+    def test_json_report_shape(self, capsys):
+        assert main(["check", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["lint"]["new"] == []
+        assert len(report["plans"]) == 25
+        assert all(row["ok"] for row in report["plans"])
+
+    def test_lint_only_skips_plans(self, capsys):
+        assert main(["check", "--lint", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["plans"] is None
+        assert report["lint"] is not None
+
+    def test_plans_only_skips_lint(self, capsys):
+        assert main(["check", "--plans", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["lint"] is None
+        assert len(report["plans"]) == 25
+
+    def test_new_finding_fails_and_baseline_masks_it(self, tmp_path, capsys):
+        offender = tmp_path / "offender.py"
+        offender.write_text("key = id(graph)\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+
+        argv = ["check", "--lint", "--paths", str(offender), "--baseline", str(baseline)]
+        assert main(argv) == 1
+        assert "D103" in capsys.readouterr().out
+
+        assert main(argv + ["--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "(baselined)" in capsys.readouterr().out
+
+    def test_update_baseline_writes_canonical_file(self, tmp_path):
+        offender = tmp_path / "offender.py"
+        offender.write_text("key = id(graph)\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        main(
+            [
+                "check",
+                "--lint",
+                "--paths",
+                str(offender),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        entries = json.loads(baseline.read_text(encoding="utf-8"))
+        assert len(entries) == 1
+        assert entries[0]["rule"] == "D103"
+
+
+class TestPlanCheckFlag:
+    def test_plan_check_passes_for_builtin_families(self, capsys):
+        argv = ["plan", "--dataset", "cora", "--model", "gat", "--scale", "0.1", "--check"]
+        assert main(argv) == 0
+        assert "plan verified clean" in capsys.readouterr().err
+
+    def test_plan_check_covers_chip_plans(self, capsys):
+        argv = [
+            "plan",
+            "--dataset",
+            "cora",
+            "--model",
+            "gcn",
+            "--scale",
+            "0.1",
+            "--chips",
+            "4",
+            "--check",
+        ]
+        assert main(argv) == 0
+        assert "+4 chip plans" in capsys.readouterr().err

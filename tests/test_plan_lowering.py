@@ -97,7 +97,11 @@ class TestLoweringRegistry:
         )
         with pytest.raises(TypeError):
             workload_from_plan(plan, tiny_graph)
-        with pytest.raises(TypeError):
+        # The executor path is now gated by the plan verifier, which rejects
+        # the unknown op (rule P001) before per-op dispatch would TypeError.
+        from repro.check import PlanVerificationError
+
+        with pytest.raises(PlanVerificationError, match="P001"):
             GNNIEExecutor().execute(plan, tiny_graph)
 
 

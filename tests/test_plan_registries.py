@@ -1,0 +1,79 @@
+"""Duplicate registration in the plan registries warns instead of silently clobbering.
+
+A second registration under an existing name used to overwrite the first
+entry with no trace — swapping what every sweep row priced.  Both
+registries now warn (latest still wins, for deliberate plugin overrides)
+and stay silent when the identical object is re-registered (module
+reloads).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.plan.executor import _FACTORIES, executor, register_executor
+from repro.plan.lowering import _RULES, lowering_rule, register_lowering
+
+
+@pytest.fixture()
+def scratch_registries():
+    """Snapshot both registries and restore them after the test."""
+    factories = dict(_FACTORIES)
+    rules = dict(_RULES)
+    try:
+        yield
+    finally:
+        _FACTORIES.clear()
+        _FACTORIES.update(factories)
+        _RULES.clear()
+        _RULES.update(rules)
+
+
+def test_duplicate_executor_registration_warns(scratch_registries):
+    first = lambda: object()  # noqa: E731
+    second = lambda: object()  # noqa: E731
+    register_executor("dup-backend", first)
+    with pytest.warns(RuntimeWarning, match="dup-backend.*already registered"):
+        register_executor("dup-backend", second)
+    assert _FACTORIES["dup-backend"] is second  # latest wins
+
+
+def test_identical_executor_reregistration_is_silent(scratch_registries):
+    factory = lambda: object()  # noqa: E731
+    register_executor("dup-backend", factory)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        register_executor("dup-backend", factory)
+
+
+def test_duplicate_lowering_registration_warns(scratch_registries):
+    @register_lowering("dup-family")
+    def first_rule(config, in_features, out_features):
+        raise NotImplementedError
+
+    with pytest.warns(RuntimeWarning, match="dup-family.*already registered"):
+        @register_lowering("dup-family")
+        def second_rule(config, in_features, out_features):
+            raise NotImplementedError
+
+    assert lowering_rule("dup-family") is second_rule
+
+
+def test_identical_lowering_reregistration_is_silent(scratch_registries):
+    def rule(config, in_features, out_features):
+        raise NotImplementedError
+
+    register_lowering("dup-family")(rule)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        register_lowering("dup-family")(rule)
+
+
+def test_builtin_registrations_import_cleanly(scratch_registries):
+    """Importing the built-ins twice must not warn (identity re-registration)."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        executor("gnnie")
+        executor("hygcn")
